@@ -1,0 +1,128 @@
+// Experiment E7 (DESIGN.md §5): FPGA resource model.
+//
+// Quantifies the thesis' qualitative observations: the pipelined skeleton
+// "uses a lot of FPGA resources and especially on-chip SRAM blocks consumed
+// by the FIFO buffers" (§2.3.4); the chi-sort array grows linearly in
+// cells with a logarithmic tree on top; the controller generics (word
+// width, register count) set its footprint.  Paired with the E3 throughput
+// data this gives the area-vs-throughput trade-off curve.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fpgafu;
+using area::Estimate;
+
+void print_skeleton_area() {
+  bench::section("E7", "Area of one 32-bit arithmetic unit per protocol "
+                       "skeleton (vs its E3 throughput)");
+  TextTable t({"skeleton", "LUTs", "FFs", "BRAM bits", "M4K blocks",
+               "cycles/op (E3)"});
+  struct Row {
+    const char* name;
+    fu::StatelessConfig cfg;
+    const char* throughput;
+  };
+  const Row rows[] = {
+      {"minimal", {.width = 32, .skeleton = fu::Skeleton::kMinimal}, "2.0"},
+      {"minimal+fwd", {.width = 32, .skeleton = fu::Skeleton::kMinimalFwd},
+       "1.0"},
+      {"fsm (1-cycle exec)", {.width = 32, .skeleton = fu::Skeleton::kFsm},
+       "3.0"},
+      {"pipelined d=3 fifo=8",
+       {.width = 32,
+        .skeleton = fu::Skeleton::kPipelined,
+        .pipeline_depth = 3,
+        .fifo_capacity = 8},
+       "1.0"},
+  };
+  for (const Row& r : rows) {
+    const Estimate e = area::stateless_unit(r.cfg);
+    t.add_row({r.name, std::to_string(e.luts), std::to_string(e.ffs),
+               std::to_string(e.bram_bits), std::to_string(e.m4k_blocks()),
+               r.throughput});
+  }
+  t.print(std::cout);
+}
+
+void print_fifo_sweep() {
+  bench::section("E7b", "Pipelined skeleton: FIFO depth sweep (SRAM cost of "
+                        "decoupling)");
+  TextTable t({"fifo depth", "BRAM bits", "M4K blocks", "FFs"});
+  for (const std::size_t depth : {4u, 8u, 16u, 32u, 64u}) {
+    fu::StatelessConfig cfg{.width = 32,
+                            .skeleton = fu::Skeleton::kPipelined,
+                            .pipeline_depth = 3,
+                            .fifo_capacity = depth};
+    const Estimate e = area::stateless_unit(cfg);
+    t.add_row({std::to_string(depth), std::to_string(e.bram_bits),
+               std::to_string(e.m4k_blocks()), std::to_string(e.ffs)});
+  }
+  t.print(std::cout);
+}
+
+void print_xsort_scaling() {
+  bench::section("E7c", "chi-sort engine area vs cell count (linear cells + "
+                        "logarithmic tree)");
+  TextTable t({"cells", "LUTs", "FFs", "LUTs/cell"});
+  for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+    const xsort::XsortConfig cfg{.cells = n, .interval_bits = 16};
+    const Estimate e = area::xsort_unit(cfg);
+    t.add_row({std::to_string(n), std::to_string(e.luts),
+               std::to_string(e.ffs),
+               format_fixed(static_cast<double>(e.luts) /
+                                static_cast<double>(n),
+                            1)});
+  }
+  t.print(std::cout);
+}
+
+void print_system_report() {
+  bench::section("E7d", "Full-system resource report (RTM + three stateless "
+                        "units + 64-cell chi-sort)");
+  TextTable t({"component", "LUTs", "FFs", "BRAM bits"});
+  rtm::RtmConfig rcfg;
+  std::vector<fu::StatelessConfig> units = {
+      {.width = 32, .skeleton = fu::Skeleton::kMinimal},
+      {.width = 32, .skeleton = fu::Skeleton::kMinimal},
+      {.width = 32, .skeleton = fu::Skeleton::kMinimal}};
+  xsort::XsortConfig xcfg{.cells = 64, .interval_bits = 16};
+  for (const auto& line : area::system_report(rcfg, units, &xcfg)) {
+    t.add_row({line.component, std::to_string(line.estimate.luts),
+               std::to_string(line.estimate.ffs),
+               std::to_string(line.estimate.bram_bits)});
+  }
+  t.print(std::cout);
+  bench::note("A Cyclone EP1C12 offers ~12k LEs and 52 M4K blocks — the");
+  bench::note("reference configuration fits with room for user units, as");
+  bench::note("the thesis' prototype did.");
+}
+
+void BM_AreaEstimation(benchmark::State& state) {
+  rtm::RtmConfig rcfg;
+  std::vector<fu::StatelessConfig> units(3);
+  xsort::XsortConfig xcfg{.cells = 256, .interval_bits = 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(area::system_report(rcfg, units, &xcfg));
+  }
+}
+BENCHMARK(BM_AreaEstimation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_skeleton_area();
+  print_fifo_sweep();
+  print_xsort_scaling();
+  print_system_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

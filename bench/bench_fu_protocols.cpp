@@ -1,0 +1,133 @@
+// Experiment E3 (DESIGN.md §5): functional-unit protocol skeletons.
+//
+// Reproduces thesis §3.2.2 / §2.3.4 quantitatively:
+//   * minimal skeleton accepts an instruction every SECOND cycle;
+//   * combinational ack-forwarding reaches ONE instruction per cycle;
+//   * the FSM skeleton costs (1 + execute_cycles + 1) per instruction;
+//   * the pipelined skeleton sustains one per cycle with latency = depth+1.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "fu/stateless_units.hpp"
+#include "isa/arith.hpp"
+#include "util/table.hpp"
+
+// The FuDriver testbench is part of the test support headers; the bench
+// reuses it as its stimulus generator.
+#include "../tests/support/fu_harness.hpp"
+
+namespace {
+
+using namespace fpgafu;
+using fpgafu::testing::FuDriver;
+
+struct ProtocolResult {
+  double cycles_per_op;
+  std::uint64_t latency;
+};
+
+ProtocolResult measure(fu::Skeleton skeleton, int ops) {
+  sim::Simulator sim;
+  fu::StatelessConfig cfg;
+  cfg.width = 32;
+  cfg.skeleton = skeleton;
+  cfg.execute_cycles = 1;
+  cfg.pipeline_depth = 3;
+  cfg.fifo_capacity = 8;
+  auto unit = fu::make_arithmetic_unit(sim, cfg);
+  FuDriver drv(sim, "drv", unit->ports);
+  fu::FuRequest req;
+  req.variety = isa::arith::variety(isa::arith::Op::kAdd);
+  req.operand1 = 1;
+  req.operand2 = 2;
+  for (int i = 0; i < ops; ++i) {
+    drv.enqueue(req);
+  }
+  const auto cycles = sim.run_until(
+      [&] { return drv.completions().size() == static_cast<std::size_t>(ops); },
+      1000000);
+  const std::uint64_t latency =
+      drv.completions().front().cycle - drv.dispatch_cycles().front();
+  return {static_cast<double>(cycles) / ops, latency};
+}
+
+const char* skeleton_name(fu::Skeleton s) {
+  switch (s) {
+    case fu::Skeleton::kMinimal: return "minimal (Fig. 5)";
+    case fu::Skeleton::kMinimalFwd: return "minimal + ack forwarding";
+    case fu::Skeleton::kFsm: return "FSM, area-optimised (Fig. 6)";
+    case fu::Skeleton::kPipelined: return "pipelined + FIFOs";
+  }
+  return "?";
+}
+
+void print_protocol_table() {
+  bench::section("E3", "Functional-unit skeletons: sustained throughput and "
+                       "latency (1000 back-to-back ADDs)");
+  TextTable t({"skeleton", "cycles/op", "latency (cycles)",
+               "paper expectation"});
+  const char* expectation[] = {
+      "1 op per 2 cycles (3.2.2)", "1 op per cycle (3.2.2 forwarding)",
+      "1 + exec + 1 cycles", "1 op per cycle, latency depth+1"};
+  int i = 0;
+  for (const auto s : {fu::Skeleton::kMinimal, fu::Skeleton::kMinimalFwd,
+                       fu::Skeleton::kFsm, fu::Skeleton::kPipelined}) {
+    const ProtocolResult r = measure(s, 1000);
+    t.add_row({skeleton_name(s), format_fixed(r.cycles_per_op, 3),
+               std::to_string(r.latency), expectation[i++]});
+  }
+  t.print(std::cout);
+}
+
+void print_initiation_interval_table() {
+  bench::section("E3b", "Pipelined skeleton: initiation interval sweep "
+                        "(\"accept a new instruction every kth clock cycle\")");
+  TextTable t({"initiation interval k", "cycles/op"});
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    sim::Simulator sim;
+    fu::StatelessConfig cfg;
+    cfg.skeleton = fu::Skeleton::kPipelined;
+    cfg.pipeline_depth = 3;
+    cfg.fifo_capacity = 8;
+    cfg.initiation_interval = k;
+    auto unit = fu::make_arithmetic_unit(sim, cfg);
+    FuDriver drv(sim, "drv", unit->ports);
+    fu::FuRequest req;
+    req.variety = isa::arith::variety(isa::arith::Op::kAdd);
+    for (int i = 0; i < 400; ++i) {
+      drv.enqueue(req);
+    }
+    const auto cycles = sim.run_until(
+        [&] { return drv.completions().size() == 400; }, 100000);
+    t.add_row({std::to_string(k),
+               format_fixed(static_cast<double>(cycles) / 400, 3)});
+  }
+  t.print(std::cout);
+}
+
+void BM_SkeletonSimThroughput(benchmark::State& state) {
+  const auto skeleton = static_cast<fu::Skeleton>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure(skeleton, 200));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_SkeletonSimThroughput)
+    ->Arg(static_cast<int>(fu::Skeleton::kMinimal))
+    ->Arg(static_cast<int>(fu::Skeleton::kMinimalFwd))
+    ->Arg(static_cast<int>(fu::Skeleton::kFsm))
+    ->Arg(static_cast<int>(fu::Skeleton::kPipelined));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_protocol_table();
+  print_initiation_interval_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

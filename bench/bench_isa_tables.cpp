@@ -1,0 +1,193 @@
+// Experiment E1/E2 (DESIGN.md §5): regenerate the instruction-set encoding
+// tables of the stateless case-study units — thesis Table 3.1 (arithmetic
+// unit) and Table 3.2 (logic unit; reconstructed as LUT2 truth tables) —
+// plus encode/decode/assembler throughput measurements.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "isa/arith.hpp"
+#include "isa/assembler.hpp"
+#include "util/bits.hpp"
+#include "isa/instruction.hpp"
+#include "isa/fp32.hpp"
+#include "isa/logic.hpp"
+#include "isa/muldiv.hpp"
+#include "isa/shift.hpp"
+#include "isa/trig.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fpgafu;
+
+void print_table_31() {
+  bench::section("Table 3.1", "Encoding of arithmetic instructions "
+                              "(function code 0x10; variety control bits)");
+  TextTable t({"op", "variety", "use_carry", "fixed_carry", "output_data",
+               "first_zero", "second_zero", "compl_second"});
+  using namespace isa::arith;
+  for (const Op op : kAllOps) {
+    const isa::VarietyCode v = variety(op);
+    auto b = [&](unsigned pos) {
+      return std::string(bits::bit(v, pos) ? "1" : "0");
+    };
+    t.add_row({std::string(to_string(op)), format_bits(v, 6),
+               b(vc::kUseCarry), b(vc::kFixedCarry), b(vc::kOutputData),
+               b(vc::kFirstZero), b(vc::kSecondZero),
+               b(vc::kComplementSecond)});
+  }
+  t.print(std::cout);
+  bench::note("All nine operations derive from one adder + input muxing;");
+  bench::note("the unit contains no per-instruction special cases.");
+}
+
+void print_table_32() {
+  bench::section("Table 3.2", "Encoding of logic instructions "
+                              "(function code 0x11; LUT2 truth-table nibble)");
+  TextTable t({"op", "variety", "truth_table[3:0]", "semantics"});
+  using namespace isa::logic;
+  const char* semantics[] = {"a & b",   "a | b",  "a ^ b",  "~(a & b)",
+                             "~(a | b)", "~(a ^ b)", "~b",  "a & ~b",
+                             "a | ~b",  "a",      "0",      "all ones"};
+  int i = 0;
+  for (const Op op : kAllOps) {
+    t.add_row({std::string(to_string(op)), format_bits(variety(op), 5),
+               format_bits(truth_table(op), 4), semantics[i++]});
+  }
+  t.print(std::cout);
+}
+
+void print_muldiv_table() {
+  bench::section("Table E2c", "Encoding of multiply/divide instructions "
+                              "(function code 0x13; multi-cycle unit)");
+  TextTable t({"op", "variety", "semantics", "error cases"});
+  using namespace isa::muldiv;
+  const char* semantics[] = {
+      "low(a*b)",        "high(a*b) unsigned", "high(a*b) signed",
+      "a / b unsigned",  "a % b unsigned",     "a / b signed",
+      "a % b signed",    "quotient AND remainder (dual output)"};
+  const char* errors[] = {"-",   "-",           "-",
+                          "b=0", "b=0",         "b=0, MIN/-1",
+                          "b=0, MIN/-1", "b=0, dst2==dst1"};
+  int i = 0;
+  for (const Op op : kAllOps) {
+    t.add_row({std::string(to_string(op)), format_bits(variety(op), 5),
+               semantics[i], errors[i]});
+    ++i;
+  }
+  t.print(std::cout);
+  bench::note("Division by zero sets the error flag: \"the contents of the");
+  bench::note("destination registers (if any) are undefined by");
+  bench::note("specification\" (thesis 3.2.1).");
+}
+
+void print_fp32_table() {
+  bench::section("Table E2d", "Encoding of floating-point instructions "
+                              "(function code 0x14; IEEE-754 single)");
+  TextTable t({"op", "variety", "semantics"});
+  using namespace isa::fp32;
+  const char* semantics[] = {"a + b (RNE)", "a - b (RNE)", "a * b (RNE)",
+                             "a / b (RNE)",
+                             "flags only: Z=eq, N=lt, E=unordered"};
+  int i = 0;
+  for (const Op op : kAllOps) {
+    t.add_row({std::string(to_string(op)), format_bits(variety(op), 5),
+               semantics[i++]});
+  }
+  t.print(std::cout);
+}
+
+void print_trig_table() {
+  bench::section("Table E2e", "Encoding of trigonometric instructions "
+                              "(function code 0x15; CORDIC unit)");
+  TextTable t({"op", "variety", "semantics"});
+  using namespace isa::trig;
+  const char* semantics[] = {"Q1.30 sin of BAM angle",
+                             "Q1.30 cos of BAM angle"};
+  int i = 0;
+  for (const Op op : kAllOps) {
+    t.add_row({std::string(to_string(op)), format_bits(variety(op), 5),
+               semantics[i++]});
+  }
+  t.print(std::cout);
+  bench::note("The paper's third named stateless family: \"trigonometric");
+  bench::note("function calculators\" (IV-A).  30 shift-add rotations, one");
+  bench::note("per clock on the FSM skeleton; no multiplier.");
+}
+
+void print_shift_table() {
+  bench::section("Table E2b", "Encoding of shift instructions "
+                              "(function code 0x12; extension unit)");
+  TextTable t({"op", "variety", "semantics"});
+  using namespace isa::shift;
+  const char* semantics[] = {"a << n", "a >> n (logical)",
+                             "a >> n (arithmetic)", "rotate left",
+                             "rotate right"};
+  int i = 0;
+  for (const Op op : kAllOps) {
+    t.add_row({std::string(to_string(op)), format_bits(variety(op), 5),
+               semantics[i++]});
+  }
+  t.print(std::cout);
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_InstructionEncode(benchmark::State& state) {
+  isa::Instruction inst;
+  inst.function = isa::fc::kArith;
+  inst.variety = isa::arith::variety(isa::arith::Op::kAdc);
+  inst.dst1 = 3;
+  inst.src1 = 1;
+  inst.src2 = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.encode());
+  }
+}
+BENCHMARK(BM_InstructionEncode);
+
+void BM_InstructionDecode(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const isa::Word w = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::Instruction::decode(w));
+  }
+}
+BENCHMARK(BM_InstructionDecode);
+
+void BM_ArithEvaluate(benchmark::State& state) {
+  const auto v = isa::arith::variety(isa::arith::Op::kSbb);
+  Xoshiro256 rng(2);
+  const isa::Word a = rng.next(), b = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::arith::evaluate(v, a, b, 1, 32));
+  }
+}
+BENCHMARK(BM_ArithEvaluate);
+
+void BM_AssembleLine(benchmark::State& state) {
+  for (auto _ : state) {
+    isa::Program p;
+    isa::Assembler::assemble_line("ADC r3, r1, r2, f1, f2", p);
+    benchmark::DoNotOptimize(p.words().data());
+  }
+}
+BENCHMARK(BM_AssembleLine);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table_31();
+  print_table_32();
+  print_shift_table();
+  print_muldiv_table();
+  print_fp32_table();
+  print_trig_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+/// Shared helpers for the benchmark/reproduction harness.  Each bench
+/// binary regenerates its experiment's table(s) (see DESIGN.md §5) before
+/// running its google-benchmark timings.
+namespace fpgafu::bench {
+
+inline void section(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace fpgafu::bench

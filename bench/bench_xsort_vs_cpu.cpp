@@ -1,0 +1,183 @@
+// Experiment E8 (DESIGN.md §5): projected FPGA wall-clock vs a real CPU.
+//
+// The paper ran on a ~50 MHz Cyclone.  This harness projects the simulated
+// chi-sort cycle counts onto that clock and compares against *real*
+// std::sort / std::nth_element wall time measured on this machine, plus the
+// instrumented quicksort/quickselect operation counts — reproducing the
+// shape of the hardware/software trade-off: a fixed-cycle data-parallel
+// engine at a slow clock vs a fast sequential machine doing Θ(n log n)
+// work.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "xsort/algorithm.hpp"
+#include "xsort/baseline.hpp"
+#include "xsort/hw_engine.hpp"
+#include "xsort/soft_engine.hpp"
+
+namespace {
+
+using namespace fpgafu;
+using namespace fpgafu::xsort;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kFpgaMhz = 50.0;
+/// Modelled CPU clock for converting instrumented op counts to time — a
+/// contemporary (2010) host at 2 GHz, ~4 cycles per compare-and-move step.
+constexpr double kCpuMhz = 2000.0;
+constexpr double kCpuCyclesPerStep = 4.0;
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) {
+    x = rng.below(1u << 20);
+  }
+  return v;
+}
+
+double wall_us(const std::function<void()>& fn, int reps) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) {
+    fn();
+  }
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+}
+
+void print_sort_comparison() {
+  bench::section("E8", "chi-sort @50 MHz (projected) vs sequential sorts: "
+                       "full sort of n values");
+  TextTable t({"n", "fpga us (proj)", "quicksort us (model)",
+               "std::sort us (real, this CPU)", "fpga/quicksort"});
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto vals = random_values(n, n);
+
+    HwXsortEngine hw({.cells = n, .interval_bits = 16});
+    XsortAlgorithm algo(hw);
+    hw.reset_cost();
+    algo.sort(vals);
+    const double fpga_us = static_cast<double>(hw.cost_cycles()) / kFpgaMhz;
+
+    BaselineStats stats;
+    counted_quicksort(vals, stats);
+    const double qs_us = static_cast<double>(stats.comparisons + stats.moves) *
+                         kCpuCyclesPerStep / kCpuMhz;
+
+    const double std_us = wall_us([&] { cpu_sort(vals); }, 50);
+
+    t.add_row({std::to_string(n), format_fixed(fpga_us, 1),
+               format_fixed(qs_us, 1), format_fixed(std_us, 1),
+               format_fixed(fpga_us / qs_us, 2)});
+  }
+  t.print(std::cout);
+  bench::note("Shape: the FPGA engine is linear in n with a large constant");
+  bench::note("(its 50 MHz clock and the per-round op sequence), sequential");
+  bench::note("sorts are n log n with a small constant on a GHz-class CPU —");
+  bench::note("whole-array sorting does not pay off; data-parallel");
+  bench::note("*operations* do (see E8b).");
+}
+
+void print_selection_comparison() {
+  bench::section("E8b", "Selection (k = n/2): the data-parallel win case");
+  TextTable t({"n", "fpga us (proj)", "quickselect us (model)",
+               "nth_element us (real)", "fpga/quickselect"});
+  for (const std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+    const auto vals = random_values(n, n + 1);
+
+    HwXsortEngine hw({.cells = n, .interval_bits = 32});
+    XsortAlgorithm algo(hw);
+    algo.load(vals);
+    hw.reset_cost();
+    algo.select(n / 2);
+    const double fpga_us = static_cast<double>(hw.cost_cycles()) / kFpgaMhz;
+
+    BaselineStats stats;
+    counted_quickselect(vals, n / 2, stats);
+    const double qsel_us = static_cast<double>(stats.comparisons +
+                                               stats.moves) *
+                           kCpuCyclesPerStep / kCpuMhz;
+
+    const double nth_us = wall_us([&] { cpu_select(vals, n / 2); }, 50);
+
+    t.add_row({std::to_string(n), format_fixed(fpga_us, 2),
+               format_fixed(qsel_us, 2), format_fixed(nth_us, 2),
+               format_fixed(fpga_us / qsel_us, 3)});
+  }
+  t.print(std::cout);
+  bench::note("Selection needs only O(log n) fixed-cycle rounds on the cell");
+  bench::note("array while any sequential algorithm must touch Θ(n)");
+  bench::note("elements: the FPGA advantage *grows* with n and crosses over");
+  bench::note("even against a 40x faster clock.");
+}
+
+void print_per_round_comparison() {
+  bench::section("E8c", "One refinement round (the paper's per-operation "
+                        "claim, in wall time)");
+  TextTable t({"n", "fpga us/round (proj)", "cpu us/round (model, Θ(n))"});
+  for (const std::size_t n : {64u, 1024u, 16384u}) {
+    // One round costs a fixed 18 ops on the unit; measure it.
+    const auto vals = random_values(n, 3);
+    HwXsortEngine hw({.cells = n, .interval_bits = 32});
+    XsortAlgorithm algo(hw);
+    algo.load(vals);
+    hw.reset_cost();
+    algo.reset_stats();
+    algo.select(0);  // at least one round, all fixed cost
+    const double us_per_round =
+        static_cast<double>(hw.cost_cycles()) /
+        static_cast<double>(algo.stats().rounds == 0 ? 1
+                                                     : algo.stats().rounds) /
+        kFpgaMhz;
+    // CPU: one round = ~18 passes over n elements in the emulation model.
+    SoftXsortEngine sw({.cells = n, .interval_bits = 32});
+    XsortAlgorithm salgo(sw);
+    salgo.load(vals);
+    sw.reset_cost();
+    salgo.reset_stats();
+    salgo.select(0);
+    const double cpu_us =
+        static_cast<double>(sw.cost_cycles()) /
+        static_cast<double>(salgo.stats().rounds == 0 ? 1
+                                                      : salgo.stats().rounds) /
+        kCpuMhz;
+    t.add_row({std::to_string(n), format_fixed(us_per_round, 3),
+               format_fixed(cpu_us, 3)});
+  }
+  t.print(std::cout);
+}
+
+void BM_StdSort(benchmark::State& state) {
+  const auto vals = random_values(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu_sort(vals));
+  }
+}
+BENCHMARK(BM_StdSort)->Arg(1024)->Arg(4096);
+
+void BM_NthElement(benchmark::State& state) {
+  const auto vals = random_values(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu_select(vals, vals.size() / 2));
+  }
+}
+BENCHMARK(BM_NthElement)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sort_comparison();
+  print_selection_comparison();
+  print_per_round_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "area/area_model.hpp"
+
+#include "util/bits.hpp"
+
+namespace fpgafu::area {
+
+Estimate adder(unsigned width) {
+  // One LE per bit (carry chains are free on Cyclone).
+  return {width, 0, 0};
+}
+
+Estimate comparator(unsigned width) {
+  // Equality/magnitude compare also maps onto the carry chain.
+  return {width, 0, 0};
+}
+
+Estimate mux2(unsigned width) { return {width, 0, 0}; }
+
+Estimate registers(unsigned count_bits) { return {0, count_bits, 0}; }
+
+Estimate fifo(std::size_t depth, unsigned width) {
+  // Storage in M4K bits; control is two pointers plus full/empty logic.
+  const unsigned ptr = bits::clog2(depth == 0 ? 1 : depth) + 1;
+  Estimate e;
+  e.bram_bits = static_cast<std::uint64_t>(depth) * width;
+  e.ffs = 2u * ptr + 2;
+  e.luts = 2u * ptr + 8;
+  return e;
+}
+
+Estimate ram(std::size_t words, unsigned width) {
+  Estimate e;
+  e.bram_bits = static_cast<std::uint64_t>(words) * width;
+  e.luts = 4;
+  return e;
+}
+
+Estimate register_file(std::size_t regs, unsigned width) {
+  // Small register files synthesise to FF banks with read multiplexers
+  // (three read ports in the dispatcher).
+  Estimate e;
+  e.ffs = static_cast<std::uint64_t>(regs) * width;
+  e.luts = 3u * static_cast<std::uint64_t>(regs) * width / 4;  // read muxes
+  return e;
+}
+
+Estimate rtm(const rtm::RtmConfig& config) {
+  Estimate e;
+  // Register files (data + flags) and the lock/usage tables.
+  e += register_file(config.data_regs, config.word_width);
+  e += register_file(config.flag_regs, 8);
+  e += registers(static_cast<unsigned>(config.data_regs + config.flag_regs) *
+                 8);  // usage table entries
+  // Pipeline stages: decoder, dispatcher, execution, encoder (control logic
+  // plus one 64-bit stage register each).
+  e += Estimate{600, 4 * 64, 0};
+  // Message buffer / serialiser elasticity.
+  e += fifo(config.encoder_depth, 80);
+  e += fifo(8, 64);
+  // Write arbiter: grant logic per unit port (assume 4 ports budgeted).
+  e += Estimate{4 * 24, 16, 0};
+  return e;
+}
+
+Estimate stateless_unit(const fu::StatelessConfig& config) {
+  Estimate e;
+  // The datapath itself: adder/LUT network plus input muxing.
+  e += adder(config.width);
+  e += mux2(config.width);
+  e += mux2(config.width);
+  switch (config.skeleton) {
+    case fu::Skeleton::kMinimal:
+    case fu::Skeleton::kMinimalFwd:
+      // Output register array + ready flag (Fig. 5's three registers).
+      e += registers(config.width + 8 + 1);
+      if (config.skeleton == fu::Skeleton::kMinimalFwd) {
+        e += Estimate{4, 0, 0};  // the forwarding gates
+      }
+      break;
+    case fu::Skeleton::kFsm:
+      // FSM state, request latch, result latch.
+      e += registers(2 + 2 * config.width + 24);
+      e += Estimate{24, 0, 0};  // next-state logic
+      break;
+    case fu::Skeleton::kPipelined:
+      // Pipeline stage registers plus the output FIFOs (data, flags,
+      // destination reg numbers — the thesis' SRAM consumers).
+      e += registers(config.pipeline_depth * (config.width + 24));
+      e += fifo(config.fifo_capacity, config.width);
+      e += fifo(config.fifo_capacity, 8);   // flags
+      e += fifo(config.fifo_capacity, 16);  // destination registers
+      break;
+  }
+  return e;
+}
+
+Estimate xsort_unit(const xsort::XsortConfig& config) {
+  Estimate e;
+  const unsigned cell_state =
+      config.data_bits + 2 * config.interval_bits + 2;  // data, bounds, flags
+  // Per cell: state registers, one data comparator, one bound comparator,
+  // selection gating and input muxes (Fig. 3.12).
+  Estimate cell;
+  cell += registers(cell_state);
+  cell += comparator(config.data_bits);
+  cell += comparator(config.interval_bits);
+  cell += mux2(config.data_bits);
+  cell += Estimate{12, 0, 0};  // selection network gates
+  for (std::size_t i = 0; i < config.cells; ++i) {
+    e += cell;
+  }
+  // Interior tree nodes: one count adder + one leftmost mux per node,
+  // (cells - 1) nodes in a binary tree.
+  const std::uint64_t nodes = config.cells > 0 ? config.cells - 1 : 0;
+  Estimate node;
+  node += adder(bits::clog2(config.cells == 0 ? 1 : config.cells) + 1);
+  node += mux2(config.data_bits + 2 * config.interval_bits);
+  for (std::uint64_t i = 0; i < nodes; ++i) {
+    e += node;
+  }
+  // Controller FSM + microcode ROM (~32 words x 24 bits) + adapter.
+  e += ram(32, 24);
+  e += registers(64 + 16);
+  e += Estimate{80, 0, 0};
+  return e;
+}
+
+std::vector<Line> system_report(const rtm::RtmConfig& rtm_config,
+                                const std::vector<fu::StatelessConfig>& units,
+                                const xsort::XsortConfig* xsort_config) {
+  std::vector<Line> lines;
+  lines.push_back({"rtm_controller", rtm(rtm_config)});
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    lines.push_back(
+        {"stateless_unit_" + std::to_string(i), stateless_unit(units[i])});
+  }
+  if (xsort_config != nullptr) {
+    lines.push_back({"xsort_unit", xsort_unit(*xsort_config)});
+  }
+  Estimate total;
+  for (const Line& l : lines) {
+    total += l.estimate;
+  }
+  lines.push_back({"total", total});
+  return lines;
+}
+
+}  // namespace fpgafu::area

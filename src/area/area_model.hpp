@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fu/stateless_units.hpp"
+#include "rtm/rtm.hpp"
+#include "xsort/types.hpp"
+
+namespace fpgafu::area {
+
+/// FPGA resource estimate in Cyclone-style units: 4-input LUTs (logic
+/// elements), flip-flops, and on-chip SRAM bits (M4K blocks hold 4 kbit).
+///
+/// This is a *static first-order model* standing in for synthesis reports
+/// (DESIGN.md §2): absolute numbers are indicative, but the relations the
+/// thesis discusses — the pipelined skeleton "uses a lot of FPGA resources
+/// and especially on-chip SRAM blocks consumed by the FIFO buffers", cell
+/// arrays growing linearly, trees logarithmically — hold by construction.
+struct Estimate {
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t bram_bits = 0;
+
+  Estimate& operator+=(const Estimate& other) {
+    luts += other.luts;
+    ffs += other.ffs;
+    bram_bits += other.bram_bits;
+    return *this;
+  }
+  friend Estimate operator+(Estimate a, const Estimate& b) { return a += b; }
+  bool operator==(const Estimate&) const = default;
+
+  /// M4K blocks (4 kbit each), rounded up.
+  std::uint64_t m4k_blocks() const { return (bram_bits + 4095) / 4096; }
+};
+
+/// A named sub-estimate for report breakdowns.
+struct Line {
+  std::string component;
+  Estimate estimate;
+};
+
+// --- Primitive estimators ----------------------------------------------------
+Estimate adder(unsigned width);
+Estimate comparator(unsigned width);
+Estimate mux2(unsigned width);
+Estimate registers(unsigned count_bits);
+Estimate fifo(std::size_t depth, unsigned width);
+Estimate ram(std::size_t words, unsigned width);
+
+// --- Framework blocks --------------------------------------------------------
+Estimate register_file(std::size_t regs, unsigned width);
+Estimate rtm(const rtm::RtmConfig& config);
+Estimate stateless_unit(const fu::StatelessConfig& config);
+Estimate xsort_unit(const xsort::XsortConfig& config);
+
+/// Itemised report for a whole system configuration.
+std::vector<Line> system_report(const rtm::RtmConfig& rtm_config,
+                                const std::vector<fu::StatelessConfig>& units,
+                                const xsort::XsortConfig* xsort_config);
+
+}  // namespace fpgafu::area

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "fu/stateless_units.hpp"
+#include "rtm/rtm.hpp"
+#include "xsort/types.hpp"
+
+namespace fpgafu::codegen {
+
+/// VHDL emission — the bridge back to the paper's actual deliverable.
+///
+/// The original framework is "a generic controller circuit defined in VHDL
+/// that can be configured by the user"; its architecture "is specified as a
+/// set of generics in VHDL".  This module turns a validated C++ model
+/// configuration into those artefacts:
+///
+///  * a generics package capturing the RTM configuration,
+///  * a functional-unit entity skeleton with the framework's standard port
+///    protocol and the chosen §2.3.4 skeleton's registers/FSM already in
+///    place (the user fills in the combinational core), and
+///  * a χ-sort cell entity matching thesis Fig. 3.12.
+///
+/// The intended workflow: explore a design in the simulator, then emit the
+/// matching VHDL starting points for synthesis.
+std::string rtm_generics_package(const rtm::RtmConfig& config,
+                                 const std::string& package_name = "fpgafu_config");
+
+/// Entity + architecture skeleton for a stateless functional unit with the
+/// standard signal protocol (paper Fig. 5 port list).
+std::string functional_unit_entity(const std::string& name,
+                                   const fu::StatelessConfig& config);
+
+/// Entity for one χ-sort SIMD cell (thesis Fig. 3.12 port list), sized by
+/// the config's data/interval widths.
+std::string xsort_cell_entity(const xsort::XsortConfig& config);
+
+}  // namespace fpgafu::codegen

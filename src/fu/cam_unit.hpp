@@ -1,0 +1,161 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fu/functional_unit.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::fu {
+
+/// Associative-memory (content-addressable memory) functional unit — the
+/// third stateful example the paper names (§IV-B).
+///
+/// The persistent state is a table of {key, value, valid} entries.  In
+/// hardware every entry compares its key against the broadcast search key
+/// simultaneously, so a lookup costs one cycle *regardless of capacity* —
+/// the same circuit-parallelism story as the χ-sort cell array; the model
+/// preserves that single-cycle timing.
+///
+/// Operations (variety code; key in operand1, value in operand2):
+///   kClear  — invalidate every entry;
+///   kInsert — update the entry matching the key, or claim a free slot;
+///             sets kError (and changes nothing) when the table is full;
+///   kErase  — invalidate the entry matching the key (a miss is a no-op
+///             with kZero cleared);
+///   kLookup — return the value for the key; kCarry = hit, kZero = miss;
+///   kCount  — return the number of valid entries (a population-count
+///             tree in hardware).
+class CamUnit : public FunctionalUnit {
+ public:
+  static constexpr isa::VarietyCode kClear = 0x01;
+  static constexpr isa::VarietyCode kInsert = 0x02;
+  static constexpr isa::VarietyCode kErase = 0x03;
+  static constexpr isa::VarietyCode kLookup = 0x04;
+  static constexpr isa::VarietyCode kCount = 0x05;
+
+  CamUnit(sim::Simulator& sim, std::string name, std::size_t capacity)
+      : FunctionalUnit(sim, std::move(name)), entries_(capacity) {
+    check(capacity >= 1, "CAM needs at least one entry");
+  }
+
+  std::size_t capacity() const { return entries_.size(); }
+
+  void eval() override {
+    ports.idle.set(!pending_);
+    ports.data_ready.set(pending_);
+    ports.result.set(out_);
+  }
+
+  void commit() override {
+    if (pending_ && ports.data_acknowledge.get()) {
+      pending_ = false;
+      ++completed_;
+    }
+    if (ports.dispatch.get() && !pending_) {
+      const FuRequest req = ports.request.get();
+      execute(req);
+      pending_ = true;
+    }
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    for (Entry& e : entries_) {
+      e = Entry{};
+    }
+    pending_ = false;
+    out_ = FuResult{};
+  }
+
+ private:
+  struct Entry {
+    isa::Word key = 0;
+    isa::Word value = 0;
+    bool valid = false;
+  };
+
+  void execute(const FuRequest& req) {
+    isa::Word value = 0;
+    bool hit = false;
+    bool error = false;
+    switch (req.variety) {
+      case kClear:
+        for (Entry& e : entries_) {
+          e.valid = false;
+        }
+        break;
+      case kInsert: {
+        Entry* slot = find(req.operand1);
+        if (slot == nullptr) {
+          for (Entry& e : entries_) {
+            if (!e.valid) {
+              slot = &e;
+              break;
+            }
+          }
+        }
+        if (slot == nullptr) {
+          error = true;  // table full: destination undefined by convention
+        } else {
+          slot->key = req.operand1;
+          slot->value = req.operand2;
+          slot->valid = true;
+          hit = true;
+        }
+        break;
+      }
+      case kErase:
+        if (Entry* e = find(req.operand1)) {
+          e->valid = false;
+          hit = true;
+        }
+        break;
+      case kLookup:
+        if (const Entry* e = find(req.operand1)) {
+          value = e->value;
+          hit = true;
+        }
+        break;
+      case kCount:
+        for (const Entry& e : entries_) {
+          value += e.valid ? 1 : 0;
+        }
+        hit = value != 0;
+        break;
+      default:
+        error = true;
+        break;
+    }
+    out_.data = value;
+    out_.flags = 0;
+    if (!hit) {
+      out_.flags |= isa::FlagWord{1} << isa::flag::kZero;  // miss
+    } else {
+      out_.flags |= isa::FlagWord{1} << isa::flag::kCarry;  // hit
+    }
+    if (error) {
+      out_.flags |= isa::FlagWord{1} << isa::flag::kError;
+    }
+    out_.dst_reg = req.dst_reg;
+    out_.dst_flag_reg = req.dst_flag_reg;
+    out_.write_data = true;
+    out_.write_flags = true;
+  }
+
+  Entry* find(isa::Word key) {
+    for (Entry& e : entries_) {
+      if (e.valid && e.key == key) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Entry> entries_;
+  bool pending_ = false;
+  FuResult out_;
+};
+
+}  // namespace fpgafu::fu

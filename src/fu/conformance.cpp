@@ -1,0 +1,65 @@
+#include "fu/conformance.hpp"
+
+namespace fpgafu::fu {
+
+void ConformanceMonitor::violation(const std::string& what) {
+  violations_.push_back("cycle " + std::to_string(simulator().cycle()) + ": " +
+                        what);
+}
+
+void ConformanceMonitor::commit() {
+  const bool ready = ports_->data_ready.get();
+  const bool ack = ports_->data_acknowledge.get();
+  const bool dispatch = ports_->dispatch.get();
+  const bool idle = ports_->idle.get();
+
+  if (dispatch) {
+    if (!idle) {
+      violation("dispatch asserted while unit not idle");
+    }
+    ++dispatches_;
+  }
+  if (ready && ack) {
+    ++completions_;
+  }
+
+  // V1: ready was pending (asserted, unacknowledged) last cycle => it must
+  // still be asserted now.
+  if (prev_ready_ && !prev_acked_ && !ready) {
+    violation("data_ready withdrawn before acknowledgement");
+  }
+  // V2: while pending, the result bundle must not change.
+  if (prev_ready_ && !prev_acked_ && ready &&
+      !(ports_->result.get() == prev_result_)) {
+    violation("result changed while data_ready pending");
+  }
+
+  prev_ready_ = ready;
+  prev_acked_ = ready && ack;
+  prev_result_ = ports_->result.get();
+}
+
+void ConformanceMonitor::check_drained() {
+  if (completions_ != dispatches_) {
+    violation("drained with " + std::to_string(dispatches_) +
+              " dispatches but " + std::to_string(completions_) +
+              " completions");
+  }
+  // Note: we deliberately check the *observed* pending state, not the live
+  // data_ready wire — after the simulator stops, wires hold the values of
+  // the last settled cycle, which may predate the final register update.
+  if (prev_ready_ && !prev_acked_) {
+    violation("drained but a result is still pending unacknowledged");
+  }
+}
+
+void ConformanceMonitor::reset() {
+  violations_.clear();
+  prev_ready_ = false;
+  prev_acked_ = false;
+  prev_result_ = FuResult{};
+  dispatches_ = 0;
+  completions_ = 0;
+}
+
+}  // namespace fpgafu::fu

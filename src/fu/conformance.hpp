@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fu/ports.hpp"
+#include "sim/component.hpp"
+
+namespace fpgafu::fu {
+
+/// Protocol conformance monitor: watches a functional unit's port bundle
+/// every cycle and records violations of the framework's signal protocol.
+///
+/// Checked invariants (the rules a unit must satisfy to be attachable to
+/// the dispatcher and write arbiter):
+///  * V1: `data_ready`, once asserted, stays asserted until the cycle it is
+///        acknowledged (no spontaneous withdrawal).
+///  * V2: `result` is stable while `data_ready` is asserted and
+///        unacknowledged.
+///  * V3: an acknowledged result's destination matches a request that was
+///        dispatched earlier (no spurious completions), and every dispatch
+///        is eventually matched (checked via counters at drain time).
+///  * V4: after reset the unit is idle with no pending data.
+///
+/// Attach it alongside any unit — including user-defined ones — as the
+/// framework's equivalent of an interface assertion checker.
+class ConformanceMonitor : public sim::Component {
+ public:
+  ConformanceMonitor(sim::Simulator& sim, std::string name, FuPorts& ports)
+      : Component(sim, std::move(name)), ports_(&ports) {}
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t dispatches() const { return dispatches_; }
+  std::uint64_t completions() const { return completions_; }
+
+  /// Call when the testbench believes the unit has drained: checks V3's
+  /// counting half.
+  void check_drained();
+
+  void commit() override;
+  void reset() override;
+
+ private:
+  void violation(const std::string& what);
+
+  FuPorts* ports_;
+  std::vector<std::string> violations_;
+  bool prev_ready_ = false;
+  bool prev_acked_ = false;
+  FuResult prev_result_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t completions_ = 0;
+};
+
+}  // namespace fpgafu::fu

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fu/ports.hpp"
+#include "sim/component.hpp"
+
+namespace fpgafu::fu {
+
+/// Data-path output of a stateless operation (before destination routing).
+struct StatelessOut {
+  isa::Word value = 0;
+  isa::FlagWord flags = 0;
+  bool write_data = false;
+  bool write_flags = true;
+};
+
+/// The combinational core of a stateless functional unit: a pure function
+/// of variety code, two operands and an input flag vector — the "black box
+/// circuit" of paper Fig. 5.
+using StatelessFn =
+    std::function<StatelessOut(isa::VarietyCode, isa::Word, isa::Word,
+                               isa::FlagWord)>;
+
+/// Base class for every functional unit: a simulated hardware block with
+/// the framework's standard port bundle.
+class FunctionalUnit : public sim::Component {
+ public:
+  FunctionalUnit(sim::Simulator& sim, std::string name)
+      : Component(sim, std::move(name)), ports(sim) {}
+
+  FuPorts ports;
+
+  /// True when the given operation writes a *second* data register
+  /// (request.dst_reg2) through an additional arbiter transaction — the
+  /// thesis Fig. 2.18 "Send Data 1 / Send Data 2" sequence.  The
+  /// dispatcher locks dst_reg2 for such operations.
+  virtual bool writes_second(isa::VarietyCode) const { return false; }
+
+  /// Number of operations this unit has completed (acknowledged writes).
+  std::uint64_t completed() const { return completed_; }
+
+  void reset() override {
+    ports.reset();
+    completed_ = 0;
+  }
+
+ protected:
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace fpgafu::fu

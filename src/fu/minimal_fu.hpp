@@ -1,0 +1,82 @@
+#pragma once
+
+#include <string>
+
+#include "fu/functional_unit.hpp"
+#include "sim/signal.hpp"
+
+namespace fpgafu::fu {
+
+/// The thesis' *minimal configuration* of a functional unit (§2.3.4,
+/// Fig. 5): combinational logic followed by an output register array.
+///
+/// `dispatch` acts as a clock enable that samples the operation's result
+/// and destination register into the output registers and sets a registered
+/// data-ready flag; the flag holds until the write arbiter acknowledges.
+///
+/// With `ack_forward` disabled the unit accepts an instruction every
+/// *second* cycle (the §3.2.2 case-study behaviour); enabling it forwards
+/// the arbiter's acknowledgement combinationally into `idle`, reaching one
+/// instruction per cycle at the cost of a longer combinational path —
+/// exactly the trade-off the thesis describes.
+class MinimalFu : public FunctionalUnit {
+ public:
+  MinimalFu(sim::Simulator& sim, std::string name, StatelessFn fn,
+            bool ack_forward = false)
+      : FunctionalUnit(sim, std::move(name)),
+        fn_(std::move(fn)),
+        ack_forward_(ack_forward) {}
+
+  void eval() override {
+    // idle: no output pending, or pending output acknowledged this cycle
+    // (the combinational forward mechanism).
+    const bool pending = ready_.q();
+    const bool acked = pending && ports.data_acknowledge.get();
+    ports.idle.set(!pending || (ack_forward_ && acked));
+    ports.data_ready.set(pending);
+    ports.result.set(out_.q());
+  }
+
+  void commit() override {
+    const bool pending = ready_.q();
+    const bool acked = pending && ports.data_acknowledge.get();
+    const bool idle_now = !pending || (ack_forward_ && acked);
+    const bool accept = ports.dispatch.get() && idle_now;
+    if (accept) {
+      const FuRequest req = ports.request.get();
+      const StatelessOut o =
+          fn_(req.variety, req.operand1, req.operand2, req.flags_in);
+      FuResult r;
+      r.data = o.value;
+      r.flags = o.flags;
+      r.dst_reg = req.dst_reg;
+      r.dst_flag_reg = req.dst_flag_reg;
+      r.write_data = o.write_data;
+      r.write_flags = o.write_flags;
+      out_.set_d(r);
+      ready_.set_d(true);
+    } else {
+      out_.set_d(out_.q());
+      ready_.set_d(acked ? false : pending);
+    }
+    if (acked) {
+      ++completed_;
+    }
+    out_.tick();
+    ready_.tick();
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    out_.reset();
+    ready_.reset();
+  }
+
+ private:
+  StatelessFn fn_;
+  bool ack_forward_;
+  sim::Reg<FuResult> out_;
+  sim::Reg<bool> ready_{false};
+};
+
+}  // namespace fpgafu::fu

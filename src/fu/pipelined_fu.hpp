@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "fu/functional_unit.hpp"
+#include "util/error.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fpgafu::fu {
+
+/// The thesis' *performance-optimised configuration* (§2.3.4): a fully
+/// pipelined datapath in front of output FIFO buffers.
+///
+/// Key property reproduced from the thesis: destination bookkeeping is
+/// enqueued *at dispatch time*, so the unit's occupancy is
+/// `fifo contents + instructions still in the pipeline`, and `idle` is
+/// computed from that reservation count — the pipeline itself never stalls,
+/// and the FIFO can never overflow because a slot was reserved when the
+/// instruction entered.  The thesis recommends "FIFO buffers able to hold
+/// more data elements than there are pipeline stages"; the constructor
+/// enforces it.
+///
+/// `initiation_interval` models a pipeline that accepts a new instruction
+/// "at least every kth clock cycle".
+class PipelinedFu : public FunctionalUnit {
+ public:
+  PipelinedFu(sim::Simulator& sim, std::string name, StatelessFn fn,
+              std::uint32_t pipeline_depth, std::size_t fifo_capacity,
+              std::uint32_t initiation_interval = 1)
+      : FunctionalUnit(sim, std::move(name)),
+        fn_(std::move(fn)),
+        depth_(pipeline_depth),
+        interval_(initiation_interval),
+        fifo_(fifo_capacity) {
+    check(pipeline_depth >= 1, "pipeline depth must be >= 1");
+    check(initiation_interval >= 1, "initiation interval must be >= 1");
+    check(fifo_capacity > pipeline_depth,
+          "FIFO must hold more elements than there are pipeline stages "
+          "(thesis 2.3.4 sizing rule)");
+  }
+
+  std::size_t in_flight() const { return pipe_.size(); }
+  std::size_t buffered() const { return fifo_.size(); }
+
+  void eval() override {
+    // Reserved slots: results already buffered plus instructions that will
+    // land in the FIFO when they drain from the pipeline.
+    const std::size_t reserved = fifo_.size() + pipe_.size();
+    const bool slot_free = reserved < fifo_.capacity();
+    const bool issue_ok = since_issue_.q() + 1 >= interval_;
+    ports.idle.set(slot_free && issue_ok);
+    ports.data_ready.set(!fifo_.empty());
+    if (!fifo_.empty()) {
+      ports.result.set(fifo_.front());
+    }
+  }
+
+  void commit() override {
+    // Drain: the arbiter acknowledged the head result.
+    if (!fifo_.empty() && ports.data_acknowledge.get()) {
+      fifo_.pop();
+      ++completed_;
+    }
+    // Advance the pipeline: results whose latency elapsed enter the FIFO
+    // (slot was reserved at dispatch, so push cannot overflow).
+    for (auto& stage : pipe_) {
+      --stage.remaining;
+    }
+    while (!pipe_.empty() && pipe_.front().remaining == 0) {
+      fifo_.push(compute(pipe_.front().request));
+      pipe_.pop_front();
+    }
+    // Accept a new instruction (the dispatcher honoured `idle`).
+    const std::size_t reserved = fifo_.size() + pipe_.size();
+    const bool issue_ok = since_issue_.q() + 1 >= interval_;
+    if (ports.dispatch.get() && issue_ok &&
+        reserved < fifo_.capacity()) {
+      pipe_.push_back({ports.request.get(), depth_});
+      since_issue_.set_d(0);
+    } else {
+      since_issue_.set_d(since_issue_.q() >= interval_ ? since_issue_.q()
+                                                       : since_issue_.q() + 1);
+    }
+    since_issue_.tick();
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    pipe_.clear();
+    fifo_.clear();
+    since_issue_.reset();
+  }
+
+ private:
+  struct Stage {
+    FuRequest request;
+    std::uint32_t remaining;
+  };
+
+  FuResult compute(const FuRequest& req) const {
+    const StatelessOut o =
+        fn_(req.variety, req.operand1, req.operand2, req.flags_in);
+    FuResult r;
+    r.data = o.value;
+    r.flags = o.flags;
+    r.dst_reg = req.dst_reg;
+    r.dst_flag_reg = req.dst_flag_reg;
+    r.write_data = o.write_data;
+    r.write_flags = o.write_flags;
+    return r;
+  }
+
+  StatelessFn fn_;
+  std::uint32_t depth_;
+  std::uint32_t interval_;
+  std::deque<Stage> pipe_;
+  RingBuffer<FuResult> fifo_;
+  sim::Reg<std::uint32_t> since_issue_{~std::uint32_t{0} / 2};  // "long ago"
+};
+
+}  // namespace fpgafu::fu

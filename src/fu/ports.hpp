@@ -1,0 +1,89 @@
+#pragma once
+
+#include "isa/types.hpp"
+#include "sim/signal.hpp"
+
+namespace fpgafu::fu {
+
+/// The operand bundle the dispatcher presents to a functional unit on a
+/// dispatch cycle — the paper Fig. 5 input signals (`variety_code`,
+/// `data_input`, `data_output_reg`, plus the flag inputs of the full
+/// framework).
+struct FuRequest {
+  isa::VarietyCode variety = 0;
+  isa::Word operand1 = 0;
+  isa::Word operand2 = 0;
+  isa::FlagWord flags_in = 0;
+  isa::RegNum dst_reg = 0;
+  isa::RegNum dst_flag_reg = 0;
+  /// Second data destination for dual-output operations (thesis Fig. 2.18's
+  /// "Send Data 1 / Send Data 2" path); carried in the instruction's aux
+  /// field.  Ignored by single-output units.
+  isa::RegNum dst_reg2 = 0;
+
+  bool operator==(const FuRequest&) const = default;
+};
+
+/// The completion bundle a functional unit presents to the write arbiter —
+/// Fig. 5's `data_output` / `data_output_reg` plus the flag outputs.
+struct FuResult {
+  isa::Word data = 0;
+  isa::FlagWord flags = 0;
+  isa::RegNum dst_reg = 0;
+  isa::RegNum dst_flag_reg = 0;
+  bool write_data = false;   ///< write `data` to dst_reg
+  bool write_flags = false;  ///< write `flags` to dst_flag_reg
+  /// The write arbiter releases dst_reg's lock on every transaction, and
+  /// dst_flag_reg's only when this is set.  A dual-output operation's
+  /// second transaction (the thesis' "Send Data 2") clears it, because the
+  /// flag lock was already released with the first record.
+  bool unlock_flag_reg = true;
+
+  bool operator==(const FuResult&) const = default;
+};
+
+/// The standard signal protocol between the controller and every functional
+/// unit (paper §II: "Each functional unit is designed to interact with the
+/// central interface using a standard signal protocol, which is defined by
+/// the framework").
+///
+/// Cycle semantics:
+///  * The dispatcher may assert `dispatch` (with `request` valid) only on a
+///    cycle where the unit asserts `idle`.
+///  * The unit asserts `data_ready` (with `result` valid) when it has a
+///    completion pending for the write arbiter; it must hold both stable
+///    until the arbiter pulses `data_acknowledge`.
+///  * `idle` may depend combinationally on `data_acknowledge` (the thesis'
+///    forwarding trick that allows accepting one instruction per cycle, at
+///    the cost of critical-path length).
+struct FuPorts {
+  explicit FuPorts(sim::Simulator& sim)
+      : dispatch(sim),
+        request(sim),
+        idle(sim),
+        data_ready(sim),
+        result(sim),
+        data_acknowledge(sim) {}
+
+  // Dispatcher -> unit.
+  sim::Wire<bool> dispatch;
+  sim::Wire<FuRequest> request;
+  // Unit -> dispatcher.
+  sim::Wire<bool> idle;
+  // Unit -> write arbiter.
+  sim::Wire<bool> data_ready;
+  sim::Wire<FuResult> result;
+  // Write arbiter -> unit.
+  sim::Wire<bool> data_acknowledge;
+
+  void reset() {
+    dispatch.reset();
+    request.reset();
+    idle.reset();
+    data_ready.reset();
+    result.reset();
+    data_acknowledge.reset();
+  }
+};
+
+}  // namespace fpgafu::fu

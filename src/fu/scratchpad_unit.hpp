@@ -1,0 +1,124 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fu/functional_unit.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::fu {
+
+/// On-FPGA scratchpad memory functional unit: a block-RAM buffer the host
+/// program addresses through instructions.
+///
+/// The paper's interface "can collect data from the processor, buffer it,
+/// run the functional units, obtain their results"; the register file is
+/// that buffer for a handful of words.  Real workloads (matrices, signal
+/// blocks) need more on-chip state than registers — this unit is the
+/// natural BRAM-backed extension, and another canonical stateful unit in
+/// the §IV-B sense ("smart memory" without the smartness: plain addressed
+/// storage).
+///
+/// Operations (variety code; address in operand1, data in operand2):
+///   kWrite — mem[addr] <- data; result = data;
+///   kRead  — result = mem[addr];
+///   kFill  — every word <- data (a hardware clear/fill, one dispatch);
+///   kSize  — result = capacity in words.
+/// Out-of-range addresses set the error flag (destination undefined).
+///
+/// Timing: one cycle per operation (single-ported BRAM); kFill is also one
+/// dispatch (hardware fill logic), which the model preserves.
+class ScratchpadUnit : public FunctionalUnit {
+ public:
+  static constexpr isa::VarietyCode kWrite = 0x01;
+  static constexpr isa::VarietyCode kRead = 0x02;
+  static constexpr isa::VarietyCode kFill = 0x03;
+  static constexpr isa::VarietyCode kSize = 0x04;
+
+  ScratchpadUnit(sim::Simulator& sim, std::string name, std::size_t words,
+                 unsigned width = 32)
+      : FunctionalUnit(sim, std::move(name)), mem_(words, 0), width_(width) {
+    check(words >= 1, "scratchpad needs at least one word");
+  }
+
+  std::size_t capacity() const { return mem_.size(); }
+
+  /// Direct test/debug access (the host path goes through instructions).
+  isa::Word peek(std::size_t addr) const { return mem_.at(addr); }
+
+  void eval() override {
+    ports.idle.set(!pending_);
+    ports.data_ready.set(pending_);
+    ports.result.set(out_);
+  }
+
+  void commit() override {
+    if (pending_ && ports.data_acknowledge.get()) {
+      pending_ = false;
+      ++completed_;
+    }
+    if (ports.dispatch.get() && !pending_) {
+      const FuRequest req = ports.request.get();
+      const isa::Word addr = req.operand1;
+      const isa::Word data = req.operand2 & bits::mask(width_);
+      isa::Word result = 0;
+      bool error = false;
+      switch (req.variety) {
+        case kWrite:
+          if (addr < mem_.size()) {
+            mem_[addr] = data;
+            result = data;
+          } else {
+            error = true;
+          }
+          break;
+        case kRead:
+          if (addr < mem_.size()) {
+            result = mem_[addr];
+          } else {
+            error = true;
+          }
+          break;
+        case kFill:
+          mem_.assign(mem_.size(), data);
+          result = data;
+          break;
+        case kSize:
+          result = mem_.size();
+          break;
+        default:
+          error = true;
+          break;
+      }
+      out_.data = result;
+      out_.flags = 0;
+      if (result == 0) {
+        out_.flags |= isa::FlagWord{1} << isa::flag::kZero;
+      }
+      if (error) {
+        out_.flags |= isa::FlagWord{1} << isa::flag::kError;
+      }
+      out_.dst_reg = req.dst_reg;
+      out_.dst_flag_reg = req.dst_flag_reg;
+      out_.write_data = true;
+      out_.write_flags = true;
+      pending_ = true;
+    }
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    mem_.assign(mem_.size(), 0);
+    pending_ = false;
+    out_ = FuResult{};
+  }
+
+ private:
+  std::vector<isa::Word> mem_;
+  unsigned width_;
+  bool pending_ = false;
+  FuResult out_;
+};
+
+}  // namespace fpgafu::fu

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fu/functional_unit.hpp"
+
+namespace fpgafu::fu {
+
+/// Which §2.3.4 skeleton a stateless unit is built from.
+enum class Skeleton {
+  kMinimal,        ///< combinational + output register (Fig. 5)
+  kMinimalFwd,     ///< minimal with combinational ack forwarding
+  kFsm,            ///< explicit FSM, area optimised (Fig. 6)
+  kPipelined,      ///< fully pipelined with FIFOs (performance optimised)
+};
+
+/// Construction parameters for a stateless unit.
+struct StatelessConfig {
+  unsigned width = 32;                 ///< datapath width in bits
+  Skeleton skeleton = Skeleton::kMinimal;
+  std::uint32_t execute_cycles = 1;    ///< kFsm: datapath iteration count
+  std::uint32_t pipeline_depth = 3;    ///< kPipelined
+  std::size_t fifo_capacity = 8;       ///< kPipelined
+  std::uint32_t initiation_interval = 1;  ///< kPipelined
+};
+
+/// The combinational cores of the case-study units (thesis §3.2.2), bound
+/// to a datapath width.  Exposed so custom units can reuse them.
+StatelessFn arithmetic_core(unsigned width);
+StatelessFn logic_core(unsigned width);
+StatelessFn shift_core(unsigned width);
+StatelessFn muldiv_core(unsigned width);
+StatelessFn fp32_core();
+StatelessFn trig_core();
+
+/// Factories: the thesis' arithmetic unit (Table 3.1), logic unit
+/// (Table 3.2) and the shift-unit extension, each wrapped in the chosen
+/// protocol skeleton.
+std::unique_ptr<FunctionalUnit> make_arithmetic_unit(sim::Simulator& sim,
+                                                     const StatelessConfig& cfg,
+                                                     std::string name = "arith");
+std::unique_ptr<FunctionalUnit> make_logic_unit(sim::Simulator& sim,
+                                                const StatelessConfig& cfg,
+                                                std::string name = "logic");
+std::unique_ptr<FunctionalUnit> make_shift_unit(sim::Simulator& sim,
+                                                const StatelessConfig& cfg,
+                                                std::string name = "shift");
+
+/// Multiply/divide unit.  This is the canonical *multi-cycle* unit: a
+/// sequential shift-add multiplier / restoring divider iterating one bit
+/// per clock.  When built on the FSM skeleton, `execute_cycles` defaults to
+/// the datapath width to model that iteration.
+std::unique_ptr<FunctionalUnit> make_muldiv_unit(sim::Simulator& sim,
+                                                 StatelessConfig cfg,
+                                                 std::string name = "muldiv");
+
+/// IEEE-754 single-precision floating-point unit (soft-float core).
+std::unique_ptr<FunctionalUnit> make_fp32_unit(sim::Simulator& sim,
+                                               const StatelessConfig& cfg,
+                                               std::string name = "fp32");
+
+/// CORDIC trigonometric unit (sin/cos; the paper's "trigonometric function
+/// calculators").  On the FSM skeleton, `execute_cycles` defaults to the
+/// CORDIC iteration count — one micro-rotation per clock.
+std::unique_ptr<FunctionalUnit> make_trig_unit(sim::Simulator& sim,
+                                               StatelessConfig cfg,
+                                               std::string name = "trig");
+
+/// Wrap an arbitrary combinational core in the chosen skeleton.
+std::unique_ptr<FunctionalUnit> make_stateless_unit(sim::Simulator& sim,
+                                                    std::string name,
+                                                    StatelessFn fn,
+                                                    const StatelessConfig& cfg);
+
+}  // namespace fpgafu::fu

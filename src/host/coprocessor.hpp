@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "msg/response.hpp"
+#include "top/system.hpp"
+
+namespace fpgafu::host {
+
+/// Host-side driver for a coprocessor System.
+///
+/// This is the software half of the paper's arrangement ("the main program
+/// is written in C or any other programming language, and runs in one or
+/// more CPUs which communicate via the interface with a set of functional
+/// units").  It frames instruction streams onto the link, deframes
+/// responses, and offers both an asynchronous submit/poll API and blocking
+/// conveniences (call / read_reg / write_reg / sync).
+///
+/// The driver advances the simulator clock when it blocks — from the
+/// software's point of view the coprocessor is "a fast I/O device" it
+/// spins on.
+class Coprocessor {
+ public:
+  explicit Coprocessor(top::System& system) : system_(&system) {}
+
+  // -- Asynchronous interface ----------------------------------------------
+  /// Queue one 64-bit stream word for transmission (2 link words).
+  void submit_word(isa::Word word);
+
+  /// Queue a whole program.
+  void submit(const isa::Program& program);
+
+  /// Non-blocking: reassemble and return the next response if its three
+  /// link words have all arrived.
+  std::optional<msg::Response> poll();
+
+  // -- Blocking conveniences -------------------------------------------------
+  /// Submit a program and run the clock until all of its responses arrived
+  /// (plus any extra error responses — collected until the system drains).
+  std::vector<msg::Response> call(const isa::Program& program,
+                                  std::uint64_t max_cycles = 10'000'000);
+
+  /// Wait for the next single response.
+  msg::Response wait_response(std::uint64_t max_cycles = 10'000'000);
+
+  /// Register file access through PUT/GET round trips.
+  void write_reg(isa::RegNum reg, isa::Word value);
+  isa::Word read_reg(isa::RegNum reg);
+  isa::FlagWord read_flags(isa::RegNum flag_reg);
+
+  /// Burst register access through PUTV/GETV — one header word per burst
+  /// instead of one instruction word per register.
+  void write_regs(isa::RegNum base, const std::vector<isa::Word>& values);
+  std::vector<isa::Word> read_regs(isa::RegNum base, std::uint8_t count);
+
+  /// Issue a SYNC barrier and wait for its completion.
+  void sync();
+
+  /// Total responses received so far.
+  std::uint64_t responses_received() const { return responses_received_; }
+
+  top::System& system() { return *system_; }
+  const top::System& system() const { return *system_; }
+
+ private:
+  top::System* system_;
+  std::array<msg::LinkWord, msg::kLinkWordsPerResponse> frame_{};
+  unsigned frame_fill_ = 0;
+  std::uint64_t responses_received_ = 0;
+};
+
+}  // namespace fpgafu::host

@@ -1,0 +1,104 @@
+#include "host/multi_host.hpp"
+
+#include "isa/instruction.hpp"
+#include "isa/rtm_ops.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::host {
+
+void MultiHost::Session::submit(const isa::Program& program) {
+  const auto& words = program.words();
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::vector<isa::Word> group{words[i]};
+    const isa::Instruction inst = isa::Instruction::decode(words[i]);
+    if (inst.function == isa::fc::kRtm) {
+      const auto op = static_cast<isa::RtmOp>(inst.variety);
+      std::size_t payload_words = 0;
+      if (op == isa::RtmOp::kPut) {
+        payload_words = 1;
+      } else if (op == isa::RtmOp::kPutVec) {
+        payload_words = inst.aux;
+      }
+      check(i + payload_words < words.size(),
+            "program ends inside a PUT/PUTV payload");
+      for (std::size_t k = 0; k < payload_words; ++k) {
+        group.push_back(words[++i]);
+      }
+    }
+    pending_.push_back(std::move(group));
+  }
+}
+
+std::optional<msg::Response> MultiHost::Session::poll() {
+  if (inbox_.empty()) {
+    return std::nullopt;
+  }
+  const msg::Response r = inbox_.front();
+  inbox_.pop_front();
+  return r;
+}
+
+std::vector<msg::Response> MultiHost::Session::call(
+    const isa::Program& program, std::uint64_t max_cycles) {
+  submit(program);
+  std::vector<msg::Response> responses;
+  sim::Simulator& sim = owner_->copro_.system().simulator();
+  sim.run_until(
+      [&] {
+        owner_->pump();
+        while (auto r = poll()) {
+          responses.push_back(*r);
+        }
+        return responses.size() >= program.expected_responses() &&
+               pending_.empty();
+      },
+      max_cycles);
+  return responses;
+}
+
+MultiHost::Session& MultiHost::create_session() {
+  sessions_.push_back(
+      std::unique_ptr<Session>(new Session(this, sessions_.size())));
+  return *sessions_.back();
+}
+
+bool MultiHost::all_submitted() const {
+  for (const auto& s : sessions_) {
+    if (!s->pending_.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MultiHost::pump() {
+  // Round-robin: one instruction group per session per round, starting
+  // after the last session served (fairness across pumps).
+  const std::size_t n = sessions_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Session& s = *sessions_[(rr_next_ + k) % n];
+    if (s.pending_.empty()) {
+      continue;
+    }
+    const std::vector<isa::Word>& group = s.pending_.front();
+    for (const isa::Word w : group) {
+      copro_.submit_word(w);
+    }
+    seq_owner_[next_seq_] = s.id_;
+    ++next_seq_;  // uint16 wraps with the decoder's counter
+    s.pending_.pop_front();
+  }
+  rr_next_ = n == 0 ? 0 : (rr_next_ + 1) % n;
+  route_responses();
+}
+
+void MultiHost::route_responses() {
+  while (auto r = copro_.poll()) {
+    const std::size_t owner = seq_owner_[r->seq];
+    check(owner != kNobody && owner < sessions_.size(),
+          "response with unknown sequence owner");
+    sessions_[owner]->inbox_.push_back(*r);
+  }
+}
+
+}  // namespace fpgafu::host

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "host/coprocessor.hpp"
+
+namespace fpgafu::host {
+
+/// Multi-CPU front end (paper Fig. 1: "one or more CPUs communicate via the
+/// interface with a set of functional units").
+///
+/// Several host sessions share one coprocessor link.  The multiplexer
+/// interleaves whole instructions (a PUT travels with its inline data word)
+/// round-robin onto the stream, remembers which session issued each
+/// instruction sequence number, and routes arriving responses back to the
+/// issuing session's inbox.  Because the RTM returns results in issue
+/// order, per-session response order equals per-session issue order.
+///
+/// Note the isolation caveat this inherits from the hardware: sessions
+/// share the register files.  Sessions must partition registers among
+/// themselves (as threads partition memory), which the examples demonstrate.
+class MultiHost {
+ public:
+  class Session {
+   public:
+    /// Queue a program for interleaved submission.
+    void submit(const isa::Program& program);
+
+    /// Pop the next response routed to this session, if any.
+    std::optional<msg::Response> poll();
+
+    /// Submit and block (pumping the multiplexer and the clock) until this
+    /// session's expected responses arrive.
+    std::vector<msg::Response> call(const isa::Program& program,
+                                    std::uint64_t max_cycles = 10'000'000);
+
+    std::size_t id() const { return id_; }
+    bool has_pending_instructions() const { return !pending_.empty(); }
+
+   private:
+    friend class MultiHost;
+    Session(MultiHost* owner, std::size_t id) : owner_(owner), id_(id) {}
+
+    MultiHost* owner_;
+    std::size_t id_;
+    /// Instruction groups awaiting interleave: each entry is one
+    /// instruction plus any inline data words.
+    std::deque<std::vector<isa::Word>> pending_;
+    std::deque<msg::Response> inbox_;
+  };
+
+  explicit MultiHost(top::System& system) : copro_(system) {
+    seq_owner_.assign(1u << 16, kNobody);
+  }
+
+  /// Create a new session; references remain valid for the MultiHost's
+  /// lifetime.
+  Session& create_session();
+
+  /// One multiplexer round: interleave up to one instruction per session
+  /// onto the link (round-robin), then route any arrived responses.
+  void pump();
+
+  /// True when no session holds unsent instructions.
+  bool all_submitted() const;
+
+  Coprocessor& coprocessor() { return copro_; }
+
+ private:
+  static constexpr std::size_t kNobody = ~std::size_t{0};
+
+  void route_responses();
+
+  Coprocessor copro_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::size_t> seq_owner_;  ///< seq -> session id ring
+  std::uint16_t next_seq_ = 0;          ///< mirrors the decoder's counter
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace fpgafu::host

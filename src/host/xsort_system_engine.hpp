@@ -1,0 +1,43 @@
+#pragma once
+
+#include "host/coprocessor.hpp"
+#include "xsort/engine.hpp"
+
+namespace fpgafu::host {
+
+/// χ-sort engine that issues every operation through the complete system
+/// path: host driver -> link -> message buffer -> RTM (decode, dispatch,
+/// writeback) -> link -> host.  Per operation it executes the three-
+/// instruction idiom
+///
+///   PUT  r_op, #operand
+///   XOP  r_res, r_op          (function code fc::kXsort)
+///   GET  r_res
+///
+/// so the measured cost includes every interface overhead the paper's
+/// end-to-end discussion covers.  The System must have been built with
+/// `with_xsort = true`.
+class SystemXsortEngine : public xsort::XsortEngine {
+ public:
+  explicit SystemXsortEngine(top::System& system);
+
+  std::uint64_t op(xsort::XsortOp o, std::uint64_t operand) override;
+  using XsortEngine::op;
+
+  std::size_t capacity() const override { return capacity_; }
+  std::uint64_t cost_cycles() const override;
+  void reset_cost() override;
+
+  Coprocessor& coprocessor() { return copro_; }
+
+ private:
+  /// Register allocation for the idiom (any free registers work).
+  static constexpr isa::RegNum kOperandReg = 1;
+  static constexpr isa::RegNum kResultReg = 2;
+
+  Coprocessor copro_;
+  std::size_t capacity_;
+  std::uint64_t cost_base_ = 0;
+};
+
+}  // namespace fpgafu::host

@@ -1,0 +1,47 @@
+#include "isa/arith.hpp"
+
+#include "util/bits.hpp"
+
+namespace fpgafu::isa::arith {
+
+Result evaluate(VarietyCode variety, Word a, Word b, FlagWord flags_in,
+                unsigned width) {
+  const Word wmask = bits::mask(width);
+
+  // Input muxing (thesis Table 3.1 control columns).
+  Word in1 = bits::bit(variety, vc::kFirstZero) ? 0 : (a & wmask);
+  Word in2 = bits::bit(variety, vc::kSecondZero) ? 0 : (b & wmask);
+  if (bits::bit(variety, vc::kComplementSecond)) {
+    in2 = ~in2 & wmask;
+  }
+  Word carry_in = 0;
+  if (bits::bit(variety, vc::kUseCarry)) {
+    carry_in = bits::bit(flags_in, flag::kCarry) ? 1 : 0;
+  } else if (bits::bit(variety, vc::kFixedCarry)) {
+    carry_in = 1;
+  }
+
+  // One adder, width+1 bits of significance for the carry out.
+  const auto [sum, carry_out] =
+      bits::add_with_carry(in1, in2, carry_in != 0, width);
+
+  const bool msb1 = bits::bit(in1, width - 1);
+  const bool msb2 = bits::bit(in2, width - 1);
+  const bool msbr = bits::bit(sum, width - 1);
+
+  Result r;
+  r.value = sum;
+  r.write_data = bits::bit(variety, vc::kOutputData);
+  r.flags = 0;
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kCarry, carry_out));
+  r.flags = static_cast<FlagWord>(bits::with_bit(r.flags, flag::kZero, sum == 0));
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kNegative, msbr));
+  // Signed overflow: both addends share a sign that differs from the sum's.
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kOverflow, msb1 == msb2 && msbr != msb1));
+  return r;
+}
+
+}  // namespace fpgafu::isa::arith

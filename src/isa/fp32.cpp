@@ -1,0 +1,342 @@
+#include "isa/fp32.hpp"
+
+#include "util/bits.hpp"
+
+namespace fpgafu::isa::fp32 {
+namespace {
+
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kExpMask = 0x7f800000u;
+constexpr std::uint32_t kFracMask = 0x007fffffu;
+constexpr std::uint32_t kImplicit = 0x00800000u;  // 1 << 23
+constexpr std::uint32_t kQuietNan = 0x7fc00000u;
+
+struct Unpacked {
+  bool sign;
+  std::int32_t exp;        // biased exponent field
+  std::uint32_t frac;      // raw fraction field
+};
+
+Unpacked unpack(std::uint32_t v) {
+  return {(v & kSignMask) != 0, static_cast<std::int32_t>((v >> 23) & 0xff),
+          v & kFracMask};
+}
+
+bool is_nan(std::uint32_t v) {
+  return (v & kExpMask) == kExpMask && (v & kFracMask) != 0;
+}
+bool is_inf(std::uint32_t v) {
+  return (v & kExpMask) == kExpMask && (v & kFracMask) == 0;
+}
+bool is_zero(std::uint32_t v) { return (v & ~kSignMask) == 0; }
+
+std::uint32_t make_inf(bool sign) {
+  return (sign ? kSignMask : 0u) | kExpMask;
+}
+std::uint32_t make_zero(bool sign) { return sign ? kSignMask : 0u; }
+
+/// Significand with the implicit bit materialised, plus the *unbiased*
+/// exponent of that 1.23-format significand.  Subnormals are normalised
+/// (significand shifted up until bit 23 is set).  Requires a finite,
+/// non-zero input.
+struct Sig {
+  std::uint32_t mant;  // in [2^23, 2^24)
+  std::int32_t e;      // value = mant * 2^(e-23)
+};
+
+Sig normalise(const Unpacked& u) {
+  if (u.exp == 0) {
+    // Subnormal: weight 2^-126, no implicit bit.
+    std::uint32_t m = u.frac;
+    std::int32_t e = -126;
+    while ((m & kImplicit) == 0) {
+      m <<= 1;
+      --e;
+    }
+    return {m, e};
+  }
+  return {u.frac | kImplicit, u.exp - 127};
+}
+
+/// Round-to-nearest-even and pack.  `mant` is a 1.23 significand in
+/// [2^23, 2^24); `e` its unbiased exponent; `g` the guard bit just below
+/// the LSB; `s` the OR of everything below the guard.  Handles subnormal
+/// underflow and infinity overflow.  `overflowed` reports finite->inf.
+std::uint32_t round_pack(bool sign, std::int32_t e, std::uint32_t mant,
+                         bool g, bool s, bool* overflowed) {
+  std::int32_t biased = e + 127;
+
+  if (biased <= 0) {
+    // Subnormal (or zero): shift right until the exponent field is 0,
+    // folding shifted-out bits into guard/sticky.
+    const std::int32_t shift = 1 - biased;
+    if (shift > 25) {
+      // Entirely below the smallest subnormal: rounds to zero (RNE cannot
+      // reach halfway with a leading significand this small... except the
+      // exact halfway of the smallest subnormal, handled by shift == 25).
+      return make_zero(sign);
+    }
+    for (std::int32_t i = 0; i < shift; ++i) {
+      s = s || g;
+      g = (mant & 1) != 0;
+      mant >>= 1;
+    }
+    biased = 1;  // mant now has weight 2^-126 * 2^-23 per LSB
+    // Round.
+    if (g && (s || (mant & 1))) {
+      ++mant;
+    }
+    if (mant & kImplicit) {
+      // Rounded back up into the normal range.
+      return (sign ? kSignMask : 0u) | (1u << 23) | (mant & kFracMask);
+    }
+    return (sign ? kSignMask : 0u) | mant;
+  }
+
+  // Normal range: round, possibly carry out of the significand.
+  if (g && (s || (mant & 1))) {
+    ++mant;
+    if (mant == (kImplicit << 1)) {
+      mant >>= 1;
+      ++biased;
+    }
+  }
+  if (biased >= 255) {
+    if (overflowed != nullptr) {
+      *overflowed = true;
+    }
+    return make_inf(sign);
+  }
+  return (sign ? kSignMask : 0u) |
+         (static_cast<std::uint32_t>(biased) << 23) | (mant & kFracMask);
+}
+
+std::uint32_t add_core(std::uint32_t a, std::uint32_t b, bool* overflowed) {
+  if (is_nan(a) || is_nan(b)) {
+    return kQuietNan;
+  }
+  const bool sa = (a & kSignMask) != 0;
+  const bool sb = (b & kSignMask) != 0;
+  if (is_inf(a) || is_inf(b)) {
+    if (is_inf(a) && is_inf(b) && sa != sb) {
+      return kQuietNan;  // inf - inf
+    }
+    return is_inf(a) ? a : b;
+  }
+  if (is_zero(a) && is_zero(b)) {
+    // RNE: +0 + -0 = +0; equal signs keep the sign.
+    return make_zero(sa && sb);
+  }
+  if (is_zero(a)) {
+    return b;
+  }
+  if (is_zero(b)) {
+    return a;
+  }
+
+  Sig x = normalise(unpack(a));
+  Sig y = normalise(unpack(b));
+  bool sx = sa, sy = sb;
+  // Make x the operand with the larger exponent (tie: larger significand),
+  // so the result's provisional sign is x's.
+  if (y.e > x.e || (y.e == x.e && y.mant > x.mant)) {
+    std::swap(x, y);
+    std::swap(sx, sy);
+  }
+
+  // Work in 64-bit with 3 extra low bits (guard, round, sticky room).
+  std::uint64_t mx = static_cast<std::uint64_t>(x.mant) << 3;
+  std::uint64_t my = static_cast<std::uint64_t>(y.mant) << 3;
+  const std::int32_t diff = x.e - y.e;
+  if (diff >= 27) {
+    my = 1;  // pure sticky
+  } else if (diff > 0) {
+    const std::uint64_t lost = my & bits::mask(static_cast<unsigned>(diff));
+    my >>= diff;
+    if (lost != 0) {
+      my |= 1;
+    }
+  }
+
+  std::uint64_t sum;
+  const bool effective_sub = sx != sy;
+  if (effective_sub) {
+    sum = mx - my;
+    if (sum == 0) {
+      return make_zero(false);  // exact cancellation: +0 under RNE
+    }
+  } else {
+    sum = mx + my;
+  }
+
+  // Normalise `sum` to a 1.23 significand at bit offset 3.
+  std::int32_t e = x.e;
+  bool sticky = false;
+  while (sum >= (static_cast<std::uint64_t>(kImplicit) << 4)) {
+    sticky = sticky || (sum & 1) != 0;
+    sum >>= 1;
+    ++e;
+  }
+  while (sum < (static_cast<std::uint64_t>(kImplicit) << 3)) {
+    sum <<= 1;
+    --e;
+  }
+  const auto mant = static_cast<std::uint32_t>(sum >> 3);
+  const bool g = (sum & 0x4) != 0;
+  const bool s = (sum & 0x3) != 0 || sticky;
+  return round_pack(sx, e, mant, g, s, overflowed);
+}
+
+std::uint32_t mul_core(std::uint32_t a, std::uint32_t b, bool* overflowed) {
+  if (is_nan(a) || is_nan(b)) {
+    return kQuietNan;
+  }
+  const bool sign = ((a ^ b) & kSignMask) != 0;
+  if (is_inf(a) || is_inf(b)) {
+    if (is_zero(a) || is_zero(b)) {
+      return kQuietNan;  // inf * 0
+    }
+    return make_inf(sign);
+  }
+  if (is_zero(a) || is_zero(b)) {
+    return make_zero(sign);
+  }
+  const Sig x = normalise(unpack(a));
+  const Sig y = normalise(unpack(b));
+  // 24x24 -> 48-bit product; value = p * 2^(ex+ey-46).
+  std::uint64_t p = static_cast<std::uint64_t>(x.mant) * y.mant;
+  std::int32_t e = x.e + y.e;
+  // p is in [2^46, 2^48): bring the leading 1 to bit 47 (1.47 format).
+  if (p & (std::uint64_t{1} << 47)) {
+    ++e;
+  } else {
+    p <<= 1;
+  }
+  // 24-bit significand = bits [47:24]; guard = bit 23; sticky = the rest.
+  const auto mant = static_cast<std::uint32_t>(p >> 24);
+  const bool g = (p & (std::uint64_t{1} << 23)) != 0;
+  const bool s = (p & bits::mask(23)) != 0;
+  return round_pack(sign, e, mant, g, s, overflowed);
+}
+
+std::uint32_t div_core(std::uint32_t a, std::uint32_t b, bool* overflowed,
+                       bool* div_by_zero) {
+  if (is_nan(a) || is_nan(b)) {
+    return kQuietNan;
+  }
+  const bool sign = ((a ^ b) & kSignMask) != 0;
+  if (is_inf(a)) {
+    return is_inf(b) ? kQuietNan : make_inf(sign);
+  }
+  if (is_inf(b)) {
+    return make_zero(sign);
+  }
+  if (is_zero(b)) {
+    if (is_zero(a)) {
+      return kQuietNan;  // 0/0: invalid
+    }
+    if (div_by_zero != nullptr) {
+      *div_by_zero = true;
+    }
+    return make_inf(sign);
+  }
+  if (is_zero(a)) {
+    return make_zero(sign);
+  }
+  Sig x = normalise(unpack(a));
+  const Sig y = normalise(unpack(b));
+  std::int32_t e = x.e - y.e;
+  std::uint64_t num = x.mant;
+  if (num < y.mant) {
+    num <<= 1;
+    --e;
+  }
+  // 26-bit quotient: leading 1 at bit 25, 23 fraction bits, 1 guard bit.
+  num <<= 25;
+  const std::uint64_t q = num / y.mant;
+  const std::uint64_t rem = num % y.mant;
+  const auto mant = static_cast<std::uint32_t>(q >> 2);
+  const bool g = (q & 0x2) != 0;
+  const bool s = (q & 0x1) != 0 || rem != 0;
+  return round_pack(sign, e, mant, g, s, overflowed);
+}
+
+FlagWord flags_for(std::uint32_t result, bool overflowed, bool invalid) {
+  FlagWord f = 0;
+  f = static_cast<FlagWord>(
+      bits::with_bit(f, flag::kZero, is_zero(result)));
+  f = static_cast<FlagWord>(
+      bits::with_bit(f, flag::kNegative, (result & kSignMask) != 0));
+  f = static_cast<FlagWord>(bits::with_bit(f, flag::kOverflow, overflowed));
+  f = static_cast<FlagWord>(
+      bits::with_bit(f, flag::kError, invalid || is_nan(result)));
+  return f;
+}
+
+}  // namespace
+
+std::uint32_t soft_add(std::uint32_t a, std::uint32_t b) {
+  return add_core(a, b, nullptr);
+}
+std::uint32_t soft_mul(std::uint32_t a, std::uint32_t b) {
+  return mul_core(a, b, nullptr);
+}
+std::uint32_t soft_div(std::uint32_t a, std::uint32_t b) {
+  return div_core(a, b, nullptr, nullptr);
+}
+
+Result evaluate(VarietyCode v, Word a64, Word b64) {
+  const auto a = static_cast<std::uint32_t>(a64 & 0xffffffffu);
+  const auto b = static_cast<std::uint32_t>(b64 & 0xffffffffu);
+  const auto op = static_cast<Op>(bits::field(v, vc::kOpHi, vc::kOpLo));
+
+  Result r;
+  r.write_data = bits::bit(v, vc::kOutputData);
+  bool overflowed = false;
+  bool hard_error = false;
+
+  switch (op) {
+    case Op::kFadd:
+      r.value = add_core(a, b, &overflowed);
+      break;
+    case Op::kFsub:
+      r.value = add_core(a, b ^ kSignMask, &overflowed);
+      break;
+    case Op::kFmul:
+      r.value = mul_core(a, b, &overflowed);
+      break;
+    case Op::kFdiv:
+      r.value = div_core(a, b, &overflowed, &hard_error);
+      break;
+    case Op::kFcmp: {
+      // Flags only: kError = unordered, kZero = equal, kNegative = a < b.
+      FlagWord f = 0;
+      if (is_nan(a) || is_nan(b)) {
+        f = static_cast<FlagWord>(bits::with_bit(f, flag::kError, true));
+      } else if (is_zero(a) && is_zero(b)) {
+        f = static_cast<FlagWord>(bits::with_bit(f, flag::kZero, true));
+      } else if (a == b) {
+        f = static_cast<FlagWord>(bits::with_bit(f, flag::kZero, true));
+      } else {
+        // Order by sign, then magnitude (flipped for negatives).
+        const bool sa = (a & kSignMask) != 0, sb = (b & kSignMask) != 0;
+        bool less;
+        if (sa != sb) {
+          less = sa;
+        } else if (!sa) {
+          less = a < b;
+        } else {
+          less = a > b;
+        }
+        f = static_cast<FlagWord>(bits::with_bit(f, flag::kNegative, less));
+      }
+      r.flags = f;
+      return r;
+    }
+  }
+  r.flags = flags_for(static_cast<std::uint32_t>(r.value), overflowed,
+                      hard_error);
+  return r;
+}
+
+}  // namespace fpgafu::isa::fp32

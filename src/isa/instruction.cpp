@@ -1,0 +1,46 @@
+#include "isa/instruction.hpp"
+
+#include <cstdio>
+
+#include "util/bits.hpp"
+
+namespace fpgafu::isa {
+
+Word Instruction::encode() const {
+  using namespace ifield;
+  Word w = 0;
+  w = bits::with_field(w, kFunctionHi, kFunctionLo, function);
+  w = bits::with_field(w, kVarietyHi, kVarietyLo, variety);
+  w = bits::with_field(w, kDstFlagHi, kDstFlagLo, dst_flag);
+  w = bits::with_field(w, kDst1Hi, kDst1Lo, dst1);
+  w = bits::with_field(w, kSrcFlagHi, kSrcFlagLo, src_flag);
+  w = bits::with_field(w, kSrc2Hi, kSrc2Lo, src2);
+  w = bits::with_field(w, kSrc1Hi, kSrc1Lo, src1);
+  w = bits::with_field(w, kAuxHi, kAuxLo, aux);
+  return w;
+}
+
+Instruction Instruction::decode(Word word) {
+  using namespace ifield;
+  Instruction inst;
+  inst.function = static_cast<FunctionCode>(bits::field(word, kFunctionHi, kFunctionLo));
+  inst.variety = static_cast<VarietyCode>(bits::field(word, kVarietyHi, kVarietyLo));
+  inst.dst_flag = static_cast<RegNum>(bits::field(word, kDstFlagHi, kDstFlagLo));
+  inst.dst1 = static_cast<RegNum>(bits::field(word, kDst1Hi, kDst1Lo));
+  inst.src_flag = static_cast<RegNum>(bits::field(word, kSrcFlagHi, kSrcFlagLo));
+  inst.src2 = static_cast<RegNum>(bits::field(word, kSrc2Hi, kSrc2Lo));
+  inst.src1 = static_cast<RegNum>(bits::field(word, kSrc1Hi, kSrc1Lo));
+  inst.aux = static_cast<std::uint8_t>(bits::field(word, kAuxHi, kAuxLo));
+  return inst;
+}
+
+std::string to_string(const Instruction& inst) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "fc=0x%02x vc=0x%02x dst=r%u f%u src=r%u,r%u f%u aux=%u",
+                inst.function, inst.variety, inst.dst1, inst.dst_flag,
+                inst.src1, inst.src2, inst.src_flag, inst.aux);
+  return buf;
+}
+
+}  // namespace fpgafu::isa

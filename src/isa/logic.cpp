@@ -1,0 +1,33 @@
+#include "isa/logic.hpp"
+
+#include "util/bits.hpp"
+
+namespace fpgafu::isa::logic {
+
+Result evaluate(VarietyCode variety, Word a, Word b, unsigned width) {
+  const Word wmask = bits::mask(width);
+  const std::uint8_t table =
+      static_cast<std::uint8_t>(bits::field(variety, vc::kTableHi, vc::kTableLo));
+
+  // Bitwise LUT2: expand the four truth-table entries into mask algebra so
+  // the evaluation is word-parallel (this is also how a synthesiser would
+  // fold the LUT into AND/OR terms).
+  Word result = 0;
+  if (bits::bit(table, 0)) result |= ~a & ~b;  // a=0 b=0
+  if (bits::bit(table, 1)) result |= ~a & b;   // a=0 b=1
+  if (bits::bit(table, 2)) result |= a & ~b;   // a=1 b=0
+  if (bits::bit(table, 3)) result |= a & b;    // a=1 b=1
+  result &= wmask;
+
+  Result r;
+  r.value = result;
+  r.write_data = bits::bit(variety, vc::kOutputData);
+  r.flags = 0;
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kZero, result == 0));
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kNegative, bits::bit(result, width - 1)));
+  return r;
+}
+
+}  // namespace fpgafu::isa::logic

@@ -1,0 +1,58 @@
+#include "isa/shift.hpp"
+
+#include "util/bits.hpp"
+
+namespace fpgafu::isa::shift {
+
+Result evaluate(VarietyCode variety, Word a, Word amount, unsigned width) {
+  const Word wmask = bits::mask(width);
+  const unsigned n =
+      static_cast<unsigned>(amount % width);  // barrel shifter wraps
+  const Word value = a & wmask;
+  const auto op = static_cast<Op>(bits::field(variety, vc::kOpHi, vc::kOpLo));
+
+  Word result = 0;
+  bool carry = false;  // last bit shifted out (0 for n == 0 shifts)
+  switch (op) {
+    case Op::kShl:
+      result = (value << n) & wmask;
+      carry = n > 0 && bits::bit(value, width - n);
+      break;
+    case Op::kShr:
+      result = value >> n;
+      carry = n > 0 && bits::bit(value, n - 1);
+      break;
+    case Op::kAsr: {
+      const Word sign_fill =
+          bits::bit(value, width - 1) && n > 0
+              ? (bits::mask(n) << (width - n)) & wmask
+              : 0;
+      result = (value >> n) | sign_fill;
+      carry = n > 0 && bits::bit(value, n - 1);
+      break;
+    }
+    case Op::kRol:
+      result = n == 0 ? value
+                      : (((value << n) | (value >> (width - n))) & wmask);
+      carry = n > 0 && bits::bit(result, 0);
+      break;
+    case Op::kRor:
+      result = n == 0 ? value
+                      : (((value >> n) | (value << (width - n))) & wmask);
+      carry = n > 0 && bits::bit(result, width - 1);
+      break;
+  }
+
+  Result r;
+  r.value = result;
+  r.write_data = bits::bit(variety, vc::kOutputData);
+  r.flags = 0;
+  r.flags = static_cast<FlagWord>(bits::with_bit(r.flags, flag::kCarry, carry));
+  r.flags =
+      static_cast<FlagWord>(bits::with_bit(r.flags, flag::kZero, result == 0));
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kNegative, bits::bit(result, width - 1)));
+  return r;
+}
+
+}  // namespace fpgafu::isa::shift

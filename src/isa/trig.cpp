@@ -1,0 +1,118 @@
+#include "isa/trig.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/bits.hpp"
+
+namespace fpgafu::isa::trig {
+namespace {
+
+/// Sub-BAM angle precision: the z accumulator carries 16 bits below one
+/// BAM unit (turn = 2^48), so thirty rounded ROM entries accumulate far
+/// less than one output LSB of angle error.
+constexpr unsigned kAngleGuardBits = 16;
+
+/// Arctangent ROM: atan(2^-i) in guarded BAM units (turn * 2^48).
+/// Computed once at start-up — this models the synthesised ROM contents;
+/// the datapath itself is integer-only.
+const std::array<std::int64_t, kIterations>& atan_rom() {
+  static const auto rom = [] {
+    std::array<std::int64_t, kIterations> t{};
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    for (unsigned i = 0; i < kIterations; ++i) {
+      const double atan_val = std::atan(std::ldexp(1.0, -static_cast<int>(i)));
+      t[i] = static_cast<std::int64_t>(std::llround(
+          atan_val / kTwoPi *
+          std::ldexp(1.0, 32 + static_cast<int>(kAngleGuardBits))));
+    }
+    return t;
+  }();
+  return rom;
+}
+
+/// Internal x/y precision: Q1.40 (10 guard bits below the Q1.30 result, so
+/// per-iteration truncation stays well under one output LSB).
+constexpr unsigned kGuardBits = 10;
+
+/// CORDIC gain compensation: K = prod(1/sqrt(1 + 2^-2i)), pre-loaded into
+/// the initial x so no multiplier is needed.  Q1.40.
+std::int64_t initial_x() {
+  static const std::int64_t x0 = [] {
+    double k = 1.0;
+    for (unsigned i = 0; i < kIterations; ++i) {
+      k /= std::sqrt(1.0 + std::ldexp(1.0, -2 * static_cast<int>(i)));
+    }
+    return static_cast<std::int64_t>(
+        std::llround(k * std::ldexp(1.0, 30 + static_cast<int>(kGuardBits))));
+  }();
+  return x0;
+}
+
+/// Round a Q1.40 value to Q1.30.
+std::int32_t round_q30(std::int64_t v) {
+  return static_cast<std::int32_t>((v + (std::int64_t{1} << (kGuardBits - 1)))
+                                   >> kGuardBits);
+}
+
+}  // namespace
+
+SinCos cordic_sincos(std::uint32_t bam_angle) {
+  // Quadrant reduction to [-quarter, +quarter] turn: rotation-mode CORDIC
+  // converges for |angle| <= ~99.9 degrees.
+  auto z = static_cast<std::int64_t>(static_cast<std::int32_t>(bam_angle))
+           << kAngleGuardBits;
+  constexpr std::int64_t kQuarter = std::int64_t{1}
+                                    << (30 + kAngleGuardBits);  // 90 degrees
+  constexpr std::int64_t kHalf = std::int64_t{1}
+                                 << (31 + kAngleGuardBits);  // 180 degrees
+  bool negate = false;
+  if (z > kQuarter) {
+    z -= kHalf;
+    negate = true;  // sin/cos(theta) = -sin/cos(theta - 180 deg)
+  } else if (z < -kQuarter) {
+    z += kHalf;
+    negate = true;
+  }
+
+  std::int64_t x = initial_x();
+  std::int64_t y = 0;
+  const auto& rom = atan_rom();
+  for (unsigned i = 0; i < kIterations; ++i) {
+    const std::int64_t xs = x >> i;  // arithmetic shifts: the barrel wires
+    const std::int64_t ys = y >> i;
+    if (z >= 0) {
+      x -= ys;
+      y += xs;
+      z -= rom[i];
+    } else {
+      x += ys;
+      y -= xs;
+      z += rom[i];
+    }
+  }
+  if (negate) {
+    x = -x;
+    y = -y;
+  }
+  return {round_q30(y), round_q30(x)};
+}
+
+Result evaluate(VarietyCode v, Word a, Word /*b*/) {
+  const auto angle = static_cast<std::uint32_t>(a & 0xffffffffu);
+  const auto op = static_cast<Op>(bits::field(v, vc::kOpHi, vc::kOpLo));
+  const SinCos sc = cordic_sincos(angle);
+  const std::int32_t value = op == Op::kSin ? sc.sin : sc.cos;
+
+  Result r;
+  r.value = static_cast<std::uint32_t>(value);
+  r.write_data = bits::bit(v, vc::kOutputData);
+  r.flags = 0;
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kZero, value == 0));
+  r.flags = static_cast<FlagWord>(
+      bits::with_bit(r.flags, flag::kNegative, value < 0));
+  return r;
+}
+
+}  // namespace fpgafu::isa::trig

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+/// Fundamental ISA-level types shared by the RTM, the functional units and
+/// the host driver.
+namespace fpgafu::isa {
+
+/// Register-file data word.  The paper's register file word size is
+/// configurable in multiples of 32 bits; this model carries words in a
+/// 64-bit container and supports configured widths of 32 and 64 bits
+/// (wider words would need a multi-word container and are out of scope —
+/// see DESIGN.md §2).
+using Word = std::uint64_t;
+
+/// A flag-register word: a small vector of condition flags (the paper's
+/// secondary register file "holding vectors of flags").
+using FlagWord = std::uint8_t;
+
+/// Register number within the main or flag register file.
+using RegNum = std::uint8_t;
+
+/// Function code: selects the functional unit (or the RTM itself) that
+/// executes an instruction.  Occupies instruction bits [63:56].
+using FunctionCode = std::uint8_t;
+
+/// Variety code: per-unit operation modifier bits, instruction bits [55:48].
+/// For the arithmetic unit these are the Table 3.1 control columns; for the
+/// logic unit the low nibble is the 2-input truth table (an FPGA LUT2 init).
+using VarietyCode = std::uint8_t;
+
+/// Flag bit positions within a FlagWord.
+namespace flag {
+inline constexpr unsigned kCarry = 0;     ///< carry out (ARM convention: subtract sets carry when no borrow)
+inline constexpr unsigned kZero = 1;      ///< result == 0
+inline constexpr unsigned kNegative = 2;  ///< result MSB
+inline constexpr unsigned kOverflow = 3;  ///< signed overflow
+inline constexpr unsigned kError = 4;     ///< unit-defined error (destination contents undefined when set)
+}  // namespace flag
+
+/// Well-known function codes.  User-defined units occupy kUserBase and up.
+namespace fc {
+inline constexpr FunctionCode kRtm = 0x00;    ///< executed directly in the RTM main pipeline
+inline constexpr FunctionCode kArith = 0x10;  ///< stateless arithmetic unit (thesis Table 3.1)
+inline constexpr FunctionCode kLogic = 0x11;  ///< stateless logic unit (thesis Table 3.2)
+inline constexpr FunctionCode kShift = 0x12;  ///< stateless shift/rotate unit (extension)
+inline constexpr FunctionCode kMulDiv = 0x13; ///< multi-cycle multiply/divide unit
+inline constexpr FunctionCode kFloat = 0x14;  ///< IEEE-754 single-precision unit
+inline constexpr FunctionCode kTrig = 0x15;   ///< CORDIC trigonometric unit
+inline constexpr FunctionCode kXsort = 0x20;  ///< stateful chi-sort SIMD engine (thesis §3.3)
+inline constexpr FunctionCode kUserBase = 0x40;
+}  // namespace fc
+
+}  // namespace fpgafu::isa

@@ -1,0 +1,86 @@
+#include "msg/link.hpp"
+
+#include <algorithm>
+
+namespace fpgafu::msg {
+
+Link::Link(sim::Simulator& sim, std::string name, LinkTiming down_timing,
+           LinkTiming up_timing)
+    : Component(sim, std::move(name)),
+      rx(sim),
+      tx(sim),
+      down_(down_timing),
+      up_(up_timing) {}
+
+void Link::host_send(LinkWord word) {
+  // Rate-limit departures, then add flight latency.
+  const std::uint64_t depart =
+      std::max<std::uint64_t>(simulator().cycle(), down_next_slot_);
+  down_next_slot_ = depart + down_.interval;
+  down_queue_.push_back({word, depart + down_.latency});
+}
+
+std::optional<LinkWord> Link::host_receive() {
+  if (up_queue_.empty() ||
+      up_queue_.front().arrives_at > simulator().cycle()) {
+    return std::nullopt;
+  }
+  const LinkWord w = up_queue_.front().word;
+  up_queue_.pop_front();
+  return w;
+}
+
+std::size_t Link::host_available() const {
+  const std::uint64_t now = simulator().cycle();
+  std::size_t n = 0;
+  for (const InFlight& f : up_queue_) {
+    if (f.arrives_at <= now) {
+      ++n;
+    } else {
+      break;  // queue is ordered by arrival
+    }
+  }
+  return n;
+}
+
+bool Link::drained() const { return down_queue_.empty() && up_queue_.empty(); }
+
+void Link::eval() {
+  // Downstream: present the head word to the FPGA once it has "arrived" at
+  // the FPGA-side pins.
+  if (!down_queue_.empty() &&
+      down_queue_.front().arrives_at <= simulator().cycle()) {
+    rx.offer(down_queue_.front().word);
+  } else {
+    rx.withdraw();
+  }
+  // Upstream: the transmitter accepts a new word when the previous one has
+  // cleared the serialisation interval.
+  tx.ready.set(simulator().cycle() >= up_next_slot_);
+}
+
+void Link::commit() {
+  if (rx.fire()) {
+    down_queue_.pop_front();
+    ++words_down_;
+  }
+  if (tx.fire()) {
+    const std::uint64_t now = simulator().cycle();
+    up_next_slot_ = now + up_.interval;
+    up_queue_.push_back({tx.data.get(), now + up_.latency});
+    ++words_up_;
+  }
+}
+
+void Link::reset() {
+  down_queue_.clear();
+  up_queue_.clear();
+  down_next_slot_ = 0;
+  up_next_slot_ = 0;
+  words_down_ = 0;
+  words_up_ = 0;
+  rx.reset();
+  tx.reset();
+}
+
+}  // namespace fpgafu::msg

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "msg/response.hpp"
+#include "sim/component.hpp"
+#include "sim/handshake.hpp"
+
+namespace fpgafu::msg {
+
+/// Timing of one link direction.
+///
+/// `latency` is the flight time of a word in cycles; `interval` is the
+/// minimum number of cycles between successive word transfers (1 = a word
+/// every cycle).  A slow serial prototyping-board connection is a large
+/// interval; a tightly integrated FPGA/CPU fabric is latency ~1, interval 1.
+struct LinkTiming {
+  std::uint32_t latency = 1;
+  std::uint32_t interval = 1;
+};
+
+/// Named timing presets used across benchmarks and examples.
+struct LinkPreset {
+  const char* name;
+  LinkTiming timing;
+};
+
+/// Tightly coupled fabric (paper: "there are FPGAs that are tightly
+/// integrated with processors, offering extremely high transfer rates").
+inline constexpr LinkPreset kTightLink{"tight", {1, 1}};
+/// Burst-oriented bus (PCIe-like: high latency, full throughput).
+inline constexpr LinkPreset kBurstLink{"burst", {64, 1}};
+/// Slow serial prototyping-board connection (the paper's actual testbed:
+/// "only a very slow connection from the FPGA board to the processor was
+/// available").
+inline constexpr LinkPreset kSerialLink{"serial", {4, 32}};
+
+/// The interface circuitry: a full-duplex transceiver between the host CPU
+/// (software side, called between simulation steps) and the FPGA-side
+/// message buffer / serialiser (handshaked wire ports).
+///
+/// The paper treats this block as replaceable COTS IP; here it is a single
+/// parameterised model whose timing spans the spectrum the paper discusses.
+class Link : public sim::Component {
+ public:
+  Link(sim::Simulator& sim, std::string name, LinkTiming down_timing,
+       LinkTiming up_timing);
+
+  /// FPGA-side ports.
+  sim::Handshake<LinkWord> rx;  ///< link -> message buffer (downstream data)
+  sim::Handshake<LinkWord> tx;  ///< message serialiser -> link (upstream)
+
+  /// Host-side software API -------------------------------------------------
+  /// Queue a word for transmission to the FPGA (host buffers are unbounded:
+  /// the host is a general-purpose machine with plenty of memory).
+  void host_send(LinkWord word);
+
+  /// Pop the next word that has *arrived* at the host (flight time elapsed).
+  std::optional<LinkWord> host_receive();
+
+  /// Words currently arrived and waiting at the host.
+  std::size_t host_available() const;
+
+  /// True when no word is in flight or queued in either direction.
+  bool drained() const;
+
+  /// Total words moved in each direction (for bandwidth accounting).
+  std::uint64_t words_down() const { return words_down_; }
+  std::uint64_t words_up() const { return words_up_; }
+
+  void eval() override;
+  void commit() override;
+  void reset() override;
+
+ private:
+  struct InFlight {
+    LinkWord word;
+    std::uint64_t arrives_at;
+  };
+
+  LinkTiming down_;
+  LinkTiming up_;
+  std::deque<InFlight> down_queue_;  ///< host -> FPGA
+  std::deque<InFlight> up_queue_;    ///< FPGA -> host
+  std::uint64_t down_next_slot_ = 0;  ///< earliest cycle the next word may depart
+  std::uint64_t up_next_slot_ = 0;
+  std::uint64_t words_down_ = 0;
+  std::uint64_t words_up_ = 0;
+};
+
+}  // namespace fpgafu::msg

@@ -1,0 +1,45 @@
+#include "msg/message_buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace fpgafu::msg {
+
+MessageBuffer::MessageBuffer(sim::Simulator& sim, std::string name,
+                             std::size_t depth)
+    : Component(sim, std::move(name)), out(sim), buffer_(depth) {}
+
+void MessageBuffer::eval() {
+  check(in != nullptr, "MessageBuffer not bound to a link");
+  // Accept the high half unconditionally; accept the low half only while
+  // there is FIFO space for the assembled word.
+  in->ready.set(!have_high_ || !buffer_.full());
+  if (!buffer_.empty()) {
+    out.offer(buffer_.front());
+  } else {
+    out.withdraw();
+  }
+}
+
+void MessageBuffer::commit() {
+  if (out.fire()) {
+    buffer_.pop();
+  }
+  if (in->fire()) {
+    if (!have_high_) {
+      high_ = in->data.get();
+      have_high_ = true;
+    } else {
+      buffer_.push((static_cast<isa::Word>(high_) << 32) | in->data.get());
+      have_high_ = false;
+    }
+  }
+}
+
+void MessageBuffer::reset() {
+  buffer_.clear();
+  have_high_ = false;
+  high_ = 0;
+  out.reset();
+}
+
+}  // namespace fpgafu::msg

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "isa/types.hpp"
+#include "msg/response.hpp"
+#include "sim/component.hpp"
+#include "sim/handshake.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fpgafu::msg {
+
+/// First pipeline stage (paper §III): "receives data from the FPGA input
+/// port connected to the host processor, and converts it to a form usable by
+/// the decoder".
+///
+/// Concretely: reassembles pairs of 32-bit link words (MSW first) into
+/// 64-bit stream words and buffers them in a small hardware FIFO, so bursts
+/// from the link are absorbed while the decoder is stalled.
+class MessageBuffer : public sim::Component {
+ public:
+  MessageBuffer(sim::Simulator& sim, std::string name, std::size_t depth = 8);
+
+  sim::Handshake<LinkWord>* in = nullptr;   ///< bound to Link::rx
+  sim::Handshake<isa::Word> out;            ///< to the decoder
+
+  /// Connect to the link's receive port.
+  void bind(sim::Handshake<LinkWord>& link_rx) { in = &link_rx; }
+
+  void eval() override;
+  void commit() override;
+  void reset() override;
+
+  std::size_t buffered_words() const { return buffer_.size(); }
+
+  /// True while any word (or half word) is held.
+  bool busy() const { return !buffer_.empty() || have_high_; }
+
+ private:
+  RingBuffer<isa::Word> buffer_;
+  bool have_high_ = false;
+  LinkWord high_ = 0;
+};
+
+}  // namespace fpgafu::msg

@@ -1,0 +1,40 @@
+#include "msg/message_serializer.hpp"
+
+#include "util/error.hpp"
+
+namespace fpgafu::msg {
+
+MessageSerializer::MessageSerializer(sim::Simulator& sim, std::string name,
+                                     std::size_t depth)
+    : Component(sim, std::move(name)),
+      in(sim),
+      pending_(depth * kLinkWordsPerResponse) {}
+
+void MessageSerializer::eval() {
+  check(out != nullptr, "MessageSerializer not bound to a link");
+  // Accept a response only when all of its link words fit.
+  in.ready.set(pending_.capacity() - pending_.size() >= kLinkWordsPerResponse);
+  if (!pending_.empty()) {
+    out->offer(pending_.front());
+  } else {
+    out->withdraw();
+  }
+}
+
+void MessageSerializer::commit() {
+  if (out->fire()) {
+    pending_.pop();
+  }
+  if (in.fire()) {
+    for (const LinkWord w : in.data.get().to_link_words()) {
+      pending_.push(w);
+    }
+  }
+}
+
+void MessageSerializer::reset() {
+  pending_.clear();
+  in.reset();
+}
+
+}  // namespace fpgafu::msg

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "msg/response.hpp"
+#include "sim/component.hpp"
+#include "sim/handshake.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fpgafu::msg {
+
+/// Final pipeline stage (paper §III): "the signal vector is converted to the
+/// form required by the communication port to the host, and is transmitted
+/// on the port" — splits each Response into its three link words and feeds
+/// them to the transceiver at whatever rate the link accepts.
+class MessageSerializer : public sim::Component {
+ public:
+  MessageSerializer(sim::Simulator& sim, std::string name,
+                    std::size_t depth = 4);
+
+  sim::Handshake<Response> in;             ///< from the message encoder
+  sim::Handshake<LinkWord>* out = nullptr; ///< bound to Link::tx
+
+  void bind(sim::Handshake<LinkWord>& link_tx) { out = &link_tx; }
+
+  void eval() override;
+  void commit() override;
+  void reset() override;
+
+  /// Link words still waiting for the transceiver.
+  std::size_t pending_words() const { return pending_.size(); }
+
+ private:
+  RingBuffer<LinkWord> pending_;
+};
+
+}  // namespace fpgafu::msg

@@ -1,0 +1,38 @@
+#include "msg/response.hpp"
+
+#include <cstdio>
+
+namespace fpgafu::msg {
+
+std::array<LinkWord, 3> Response::to_link_words() const {
+  const LinkWord header = (static_cast<LinkWord>(type) << 24) |
+                          (static_cast<LinkWord>(code) << 16) |
+                          static_cast<LinkWord>(seq);
+  return {header, static_cast<LinkWord>(payload >> 32),
+          static_cast<LinkWord>(payload & 0xffffffffu)};
+}
+
+Response Response::from_link_words(const std::array<LinkWord, 3>& words) {
+  Response r;
+  r.type = static_cast<Type>((words[0] >> 24) & 0xff);
+  r.code = static_cast<std::uint8_t>((words[0] >> 16) & 0xff);
+  r.seq = static_cast<std::uint16_t>(words[0] & 0xffff);
+  r.payload = (static_cast<isa::Word>(words[1]) << 32) | words[2];
+  return r;
+}
+
+std::string to_string(const Response& r) {
+  char buf[96];
+  const char* type = "?";
+  switch (r.type) {
+    case Response::Type::kData: type = "DATA"; break;
+    case Response::Type::kFlags: type = "FLAGS"; break;
+    case Response::Type::kSyncDone: type = "SYNC"; break;
+    case Response::Type::kError: type = "ERROR"; break;
+  }
+  std::snprintf(buf, sizeof buf, "%s seq=%u code=0x%02x payload=0x%llx", type,
+                r.seq, r.code, static_cast<unsigned long long>(r.payload));
+  return buf;
+}
+
+}  // namespace fpgafu::msg

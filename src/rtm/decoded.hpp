@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "msg/response.hpp"
+
+namespace fpgafu::rtm {
+
+/// Output of the decoder stage: "the current instruction is decoded into a
+/// vector of signals that control the execution stage" (paper §III).
+struct DecodedInst {
+  isa::Instruction inst;
+  isa::Word inline_data = 0;  ///< PUT's following stream word
+  bool has_inline = false;
+  std::uint16_t seq = 0;      ///< instruction sequence number (issue order)
+  msg::ErrorCode error = msg::ErrorCode::kNone;  ///< decode-time fault
+
+  bool operator==(const DecodedInst&) const = default;
+};
+
+/// A decoded instruction travelling from the dispatcher to the execution
+/// stage, with register reads already performed ("reads from the register
+/// file take place in the dispatcher stage").
+struct ExecPacket {
+  DecodedInst di;
+  isa::Word src1_value = 0;
+  isa::FlagWord src_flag_value = 0;
+
+  bool operator==(const ExecPacket&) const = default;
+};
+
+}  // namespace fpgafu::rtm

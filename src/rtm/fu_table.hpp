@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fu/functional_unit.hpp"
+#include "isa/types.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::rtm {
+
+/// Functional unit table (paper Fig. 4): maps instruction function codes to
+/// attached functional units.  "External table module definitions alleviate
+/// customisation" — attaching a unit is the only configuration step.
+class FunctionalUnitTable {
+ public:
+  /// Attach a unit under a function code.  Returns the unit's table index
+  /// (used as the lock-owner id).  Codes must be unique and not fc::kRtm.
+  /// Detached slots are reused, preserving the indices of other units.
+  std::uint32_t attach(isa::FunctionCode code, fu::FunctionalUnit& unit) {
+    check(code != isa::fc::kRtm, "fc::kRtm is reserved for the RTM itself");
+    check(find(code) == nullptr, "function code already attached");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].unit == nullptr) {
+        entries_[i] = {code, &unit};
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    entries_.push_back({code, &unit});
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  }
+
+  /// Detach the unit under `code` — the model's equivalent of partial
+  /// reconfiguration (cf. Wirthlin & Hutchings' dynamic instruction set,
+  /// discussed in the paper's related work): subsequent instructions with
+  /// this code yield unknown-function error responses until a new unit is
+  /// attached.  The caller must only detach an idle unit with no writes in
+  /// flight (System::detach enforces this).
+  void detach(isa::FunctionCode code) {
+    for (Entry& e : entries_) {
+      if (e.unit != nullptr && e.code == code) {
+        e.unit = nullptr;
+        return;
+      }
+    }
+    throw SimError("detach: function code not attached");
+  }
+
+  /// Unit registered under `code`, or nullptr.
+  fu::FunctionalUnit* find(isa::FunctionCode code) const {
+    for (const Entry& e : entries_) {
+      if (e.unit != nullptr && e.code == code) {
+        return e.unit;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Table index for `code`; requires the code to be attached.
+  std::uint32_t index_of(isa::FunctionCode code) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].unit != nullptr && entries_[i].code == code) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    throw SimError("function code not attached");
+  }
+
+  /// Number of table slots (detached slots included; test with
+  /// slot_active before calling unit()).
+  std::size_t size() const { return entries_.size(); }
+  bool slot_active(std::uint32_t index) const {
+    return entries_.at(index).unit != nullptr;
+  }
+  fu::FunctionalUnit& unit(std::uint32_t index) const {
+    check(entries_.at(index).unit != nullptr, "detached unit slot");
+    return *entries_[index].unit;
+  }
+  isa::FunctionCode code(std::uint32_t index) const {
+    return entries_.at(index).code;
+  }
+
+ private:
+  struct Entry {
+    isa::FunctionCode code;
+    fu::FunctionalUnit* unit;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fpgafu::rtm

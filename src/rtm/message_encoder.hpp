@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+
+#include "msg/response.hpp"
+#include "sim/component.hpp"
+#include "sim/handshake.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fpgafu::rtm {
+
+/// Message encoder pipeline stage (paper §III): "There are several types of
+/// message that can be sent from the RTM to the host, including data
+/// records and flag vectors, and these are multiplexed into a single
+/// standard vector of signals."
+///
+/// In this model every response type already shares the msg::Response
+/// vector; the encoder contributes the elasticity buffer that decouples the
+/// execution stage from serialiser/link backpressure, preserving the
+/// pipeline's local-stall (no global stall) property.
+class MessageEncoder : public sim::Component {
+ public:
+  MessageEncoder(sim::Simulator& sim, std::string name, std::size_t depth = 4)
+      : Component(sim, std::move(name)), buffer_(depth) {}
+
+  sim::Handshake<msg::Response>* in = nullptr;   ///< from the execution stage
+  sim::Handshake<msg::Response>* out = nullptr;  ///< to the serialiser's input
+
+  void bind_in(sim::Handshake<msg::Response>& exec_out) { in = &exec_out; }
+  void bind_out(sim::Handshake<msg::Response>& serializer_in) {
+    out = &serializer_in;
+  }
+
+  std::uint64_t encoded() const { return encoded_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+  void eval() override {
+    in->ready.set(!buffer_.full());
+    if (!buffer_.empty()) {
+      out->offer(buffer_.front());
+    } else {
+      out->withdraw();
+    }
+  }
+
+  void commit() override {
+    if (!buffer_.empty() && out->fire()) {
+      buffer_.pop();
+    }
+    if (in->fire()) {
+      buffer_.push(in->data.get());
+      ++encoded_;
+    }
+  }
+
+  void reset() override {
+    buffer_.clear();
+    encoded_ = 0;
+  }
+
+ private:
+  RingBuffer<msg::Response> buffer_;
+  std::uint64_t encoded_ = 0;
+};
+
+}  // namespace fpgafu::rtm

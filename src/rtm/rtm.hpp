@@ -1,0 +1,141 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rtm/decoder.hpp"
+#include "rtm/dispatcher.hpp"
+#include "rtm/execution.hpp"
+#include "rtm/fu_table.hpp"
+#include "rtm/lock_manager.hpp"
+#include "rtm/message_encoder.hpp"
+#include "rtm/register_file.hpp"
+#include "rtm/write_arbiter.hpp"
+
+namespace fpgafu::rtm {
+
+/// Configuration generics of the register transfer machine — the VHDL-style
+/// size parameters the paper's controller exposes ("the architecture of the
+/// controller is specified as a set of generics in VHDL").
+struct RtmConfig {
+  unsigned word_width = 32;      ///< register word size, multiple of 32 bits
+  std::size_t data_regs = 32;    ///< main register file entries
+  std::size_t flag_regs = 8;     ///< flag register file entries
+  std::size_t encoder_depth = 4; ///< response elasticity buffer
+  bool round_robin_arbiter = false;  ///< write-arbiter grant policy
+};
+
+/// The register transfer machine: the paper's central controller (Fig. 4),
+/// assembled from its pipeline stages.
+///
+/// External connections:
+///  * `instruction_in()` — bind the message buffer's 64-bit stream output
+///    here (Rtm::bind_input).
+///  * `response_out()` — the encoder drives the message serialiser's input
+///    (Rtm::bind_output).
+///  * `attach()` — register functional units under their function codes.
+class Rtm {
+ public:
+  Rtm(sim::Simulator& sim, const RtmConfig& config)
+      : config_(config),
+        regs_(config.data_regs, config.word_width),
+        flags_(config.flag_regs),
+        locks_(config.data_regs, config.flag_regs),
+        decoder_(sim, "decoder", regs_, flags_),
+        dispatcher_(sim, "dispatcher", regs_, flags_, locks_, table_,
+                    counters_),
+        execution_(sim, "execution"),
+        arbiter_(sim, "write_arbiter", regs_, flags_, locks_, table_,
+                 execution_, counters_, config.round_robin_arbiter),
+        encoder_(sim, "message_encoder", config.encoder_depth) {
+    dispatcher_.bind(decoder_.out);
+    execution_.bind(dispatcher_.to_exec);
+    encoder_.bind_in(execution_.resp_out);
+  }
+
+  /// Attach a functional unit under an instruction function code.
+  void attach(isa::FunctionCode code, fu::FunctionalUnit& unit) {
+    table_.attach(code, unit);
+  }
+
+  /// Detach the unit under `code` — the partial-reconfiguration analogue
+  /// (paper related work [7]): later instructions with this code become
+  /// error responses until something else is attached.  Refuses while the
+  /// unit still owns register locks (writes in flight); the caller should
+  /// quiesce first (e.g. a SYNC).
+  void detach(isa::FunctionCode code) {
+    const std::uint32_t index = table_.index_of(code);
+    for (std::size_t r = 0; r < regs_.size(); ++r) {
+      check(!(locks_.data_locked(static_cast<isa::RegNum>(r)) &&
+              locks_.data_owner(static_cast<isa::RegNum>(r)) == index),
+            "detach: unit still has a data write in flight");
+    }
+    for (std::size_t r = 0; r < flags_.size(); ++r) {
+      check(!(locks_.flag_locked(static_cast<isa::RegNum>(r)) &&
+              locks_.flag_owner(static_cast<isa::RegNum>(r)) == index),
+            "detach: unit still has a flag write in flight");
+    }
+    table_.detach(code);
+  }
+
+  /// Bind the instruction-stream input (message buffer output).
+  void bind_input(sim::Handshake<isa::Word>& stream) { decoder_.bind(stream); }
+
+  /// Bind the response output (message serialiser input).
+  void bind_output(sim::Handshake<msg::Response>& serializer_in) {
+    encoder_.bind_out(serializer_in);
+  }
+
+  /// True when no instruction is anywhere in the pipeline and every
+  /// register write has retired (responses may still sit in the link or
+  /// serialiser downstream of the encoder).
+  bool quiescent() const {
+    return !decoder_.busy() && !execution_.busy() && locks_.held() == 0 &&
+           encoder_.buffered() == 0;
+  }
+
+  /// Clear architectural state (register files and locks).  The simulator's
+  /// reset() restores the pipeline components; this restores the RAMs,
+  /// which in hardware are not touched by the reset line.
+  void clear_state() {
+    regs_.clear();
+    flags_.clear();
+    locks_.clear();
+  }
+
+  const RtmConfig& config() const { return config_; }
+  RegisterFile& regs() { return regs_; }
+  const RegisterFile& regs() const { return regs_; }
+  FlagRegisterFile& flags() { return flags_; }
+  const FlagRegisterFile& flags() const { return flags_; }
+  const LockManager& locks() const { return locks_; }
+  const FunctionalUnitTable& table() const { return table_; }
+  sim::Counters& counters() { return counters_; }
+  const sim::Counters& counters() const { return counters_; }
+
+  /// Attach an event trace recording dispatches and writebacks — the
+  /// controller-level waveform a VHDL user would inspect.  Pass nullptr to
+  /// detach.
+  void set_trace(sim::EventTrace* trace) {
+    dispatcher_.set_trace(trace);
+    arbiter_.set_trace(trace);
+  }
+  std::uint64_t instructions_decoded() const {
+    return decoder_.decoded_count();
+  }
+
+ private:
+  RtmConfig config_;
+  RegisterFile regs_;
+  FlagRegisterFile flags_;
+  LockManager locks_;
+  FunctionalUnitTable table_;
+  sim::Counters counters_;
+  Decoder decoder_;
+  Dispatcher dispatcher_;
+  Execution execution_;
+  WriteArbiter arbiter_;
+  MessageEncoder encoder_;
+};
+
+}  // namespace fpgafu::rtm

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <string>
+
+#include "rtm/execution.hpp"
+#include "rtm/fu_table.hpp"
+#include "rtm/lock_manager.hpp"
+#include "rtm/register_file.hpp"
+#include "sim/component.hpp"
+#include "sim/trace.hpp"
+
+namespace fpgafu::rtm {
+
+/// Write arbiter (paper Fig. 4): multiplexes functional-unit completions
+/// onto the register file's write port, one acknowledgement per cycle, and
+/// services the execution stage's dedicated high-priority write port.
+///
+/// It is the single owner of register-file writes and of lock releases,
+/// which is what makes out-of-order completion safe: the dispatcher's WAW
+/// stall guarantees one in-flight writer per register, and the arbiter
+/// retires that writer and frees the register atomically (in one clock
+/// edge).
+///
+/// `round_robin` selects the grant policy between the thesis' simple fixed
+/// priority and a fairness-preserving rotating priority (a design-choice
+/// ablation — see DESIGN.md §6).
+class WriteArbiter : public sim::Component {
+ public:
+  WriteArbiter(sim::Simulator& sim, std::string name, RegisterFile& regs,
+               FlagRegisterFile& flags, LockManager& locks,
+               FunctionalUnitTable& table, Execution& execution,
+               sim::Counters& counters, bool round_robin = false)
+      : Component(sim, std::move(name)),
+        regs_(&regs),
+        flags_(&flags),
+        locks_(&locks),
+        table_(&table),
+        execution_(&execution),
+        counters_(&counters),
+        round_robin_(round_robin) {}
+
+  void eval() override {
+    // Grant exactly one requesting unit; deassert all other acks.
+    const std::size_t n = table_->size();
+    grant_ = kNoGrant;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = round_robin_ ? (next_ + k) % n : k;
+      if (!table_->slot_active(static_cast<std::uint32_t>(i))) {
+        continue;
+      }
+      fu::FunctionalUnit& unit = table_->unit(static_cast<std::uint32_t>(i));
+      if (grant_ == kNoGrant && unit.ports.data_ready.get()) {
+        grant_ = i;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!table_->slot_active(static_cast<std::uint32_t>(i))) {
+        continue;
+      }
+      table_->unit(static_cast<std::uint32_t>(i))
+          .ports.data_acknowledge.set(i == grant_);
+    }
+  }
+
+  void commit() override {
+    // High-priority port: always granted.
+    const HighPriorityWrite& w = execution_->hp.get();
+    if (w.write_data) {
+      regs_->write(w.dst_reg, w.data);
+      locks_->unlock_data(w.dst_reg);
+      counters_->bump("arbiter.hp_data");
+    }
+    if (w.write_flags) {
+      flags_->write(w.dst_flag_reg, w.flags);
+      locks_->unlock_flag(w.dst_flag_reg);
+      counters_->bump("arbiter.hp_flags");
+    }
+    if (trace_ != nullptr && (w.write_data || w.write_flags)) {
+      trace_->event(simulator().cycle(), "writeback.hp",
+                    w.write_data ? w.dst_reg : w.dst_flag_reg);
+    }
+    // Granted functional-unit completion.
+    if (grant_ != kNoGrant) {
+      const fu::FuResult r =
+          table_->unit(static_cast<std::uint32_t>(grant_)).ports.result.get();
+      if (r.write_data) {
+        regs_->write(r.dst_reg, r.data);
+      }
+      if (r.write_flags) {
+        flags_->write(r.dst_flag_reg, r.flags);
+      }
+      // Destinations were locked at dispatch; the data register is
+      // released on every transaction, the flag register only with the
+      // record that carried the flags (see FuResult::unlock_flag_reg).
+      locks_->unlock_data(r.dst_reg);
+      if (r.unlock_flag_reg) {
+        locks_->unlock_flag(r.dst_flag_reg);
+      }
+      counters_->bump("arbiter.unit_writes");
+      if (trace_ != nullptr) {
+        trace_->event(simulator().cycle(),
+                      "writeback.unit" + std::to_string(grant_), r.dst_reg);
+      }
+      if (round_robin_) {
+        next_ = (grant_ + 1) % table_->size();
+      }
+    }
+    // Contention statistic: units left waiting this cycle.
+    std::uint64_t waiting = 0;
+    for (std::size_t i = 0; i < table_->size(); ++i) {
+      if (table_->slot_active(static_cast<std::uint32_t>(i)) &&
+          table_->unit(static_cast<std::uint32_t>(i))
+              .ports.data_ready.get() &&
+          i != grant_) {
+        ++waiting;
+      }
+    }
+    if (waiting > 0) {
+      counters_->bump("arbiter.contention", waiting);
+    }
+  }
+
+  void reset() override {
+    grant_ = kNoGrant;
+    next_ = 0;
+  }
+
+  /// Attach an event trace recording every retirement (`writeback.hp`,
+  /// `writeback.unit<i>`) with the written register as the value.
+  void set_trace(sim::EventTrace* trace) { trace_ = trace; }
+
+ private:
+  static constexpr std::size_t kNoGrant = ~std::size_t{0};
+
+  RegisterFile* regs_;
+  FlagRegisterFile* flags_;
+  LockManager* locks_;
+  FunctionalUnitTable* table_;
+  Execution* execution_;
+  sim::Counters* counters_;
+  sim::EventTrace* trace_ = nullptr;
+  bool round_robin_;
+  std::size_t grant_ = kNoGrant;
+  std::size_t next_ = 0;
+};
+
+}  // namespace fpgafu::rtm

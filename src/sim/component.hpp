@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace fpgafu::sim {
+
+/// Base class for every simulated hardware block.
+///
+/// A Component mirrors a VHDL entity: `eval()` models its combinational
+/// processes and `commit()` its clocked processes.  Rules (enforced by
+/// convention and by the kernel's fixed-point check):
+///
+///  * `eval()` must be a pure function of Wire values and the component's
+///    registered (pre-commit) state — re-running it with unchanged inputs
+///    must drive identical outputs.
+///  * `commit()` may read Wires and its own state and may update its own
+///    state; it must not read another component's members directly and must
+///    not write Wires (drive outputs from `eval()` instead).
+///  * `reset()` restores power-on state, like an asserted reset line.
+class Component {
+ public:
+  Component(Simulator& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {
+    sim_.add(*this);
+  }
+  virtual ~Component() { sim_.remove(*this); }
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  virtual void eval() {}
+  virtual void commit() {}
+  virtual void reset() {}
+
+  const std::string& name() const { return name_; }
+  Simulator& simulator() { return sim_; }
+  const Simulator& simulator() const { return sim_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+};
+
+}  // namespace fpgafu::sim

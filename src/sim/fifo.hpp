@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/component.hpp"
+#include "sim/handshake.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fpgafu::sim {
+
+/// Clocked hardware FIFO with handshaked input and output sides.
+///
+/// Models the on-chip SRAM FIFOs the thesis uses inside performance-
+/// optimised functional units (§2.3.4): one push and one pop per cycle,
+/// first-word fall-through (the head is visible combinationally the cycle
+/// after it is enqueued).
+///
+/// `combinational_forward` mirrors the thesis' remark that forwarding the
+/// write-arbiter acknowledgement combinationally lets a unit accept a new
+/// item every cycle even when full, at the cost of a longer combinational
+/// path: when enabled, `in.ready` is asserted if the FIFO is full but the
+/// consumer is taking the head this very cycle.
+template <typename T>
+class HwFifo : public Component {
+ public:
+  HwFifo(Simulator& sim, std::string name, std::size_t capacity,
+         bool combinational_forward = false)
+      : Component(sim, std::move(name)),
+        in(sim),
+        out(sim),
+        storage_(capacity),
+        forward_(combinational_forward) {}
+
+  Handshake<T> in;
+  Handshake<T> out;
+
+  void eval() override {
+    const bool popping = !storage_.empty() && out.ready.get();
+    in.ready.set(!storage_.full() || (forward_ && popping));
+    if (!storage_.empty()) {
+      out.offer(storage_.front());
+    } else {
+      out.withdraw();
+    }
+  }
+
+  void commit() override {
+    const bool do_pop = out.fire();
+    const bool do_push = in.fire();
+    if (do_pop) {
+      storage_.pop();
+    }
+    if (do_push) {
+      storage_.push(in.data.get());
+    }
+  }
+
+  void reset() override {
+    storage_.clear();
+    in.reset();
+    out.reset();
+  }
+
+  std::size_t size() const { return storage_.size(); }
+  std::size_t capacity() const { return storage_.capacity(); }
+  bool empty() const { return storage_.empty(); }
+  bool full() const { return storage_.full(); }
+
+ private:
+  RingBuffer<T> storage_;
+  bool forward_;
+};
+
+}  // namespace fpgafu::sim

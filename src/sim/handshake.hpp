@@ -1,0 +1,40 @@
+#pragma once
+
+#include "sim/signal.hpp"
+
+namespace fpgafu::sim {
+
+/// Valid/ready handshake channel — the point-to-point connection used
+/// between every pair of pipeline stages in the paper's RTM ("Handshaking is
+/// used to control transmission of data between pipeline stages.  This
+/// allows local control to stall the transmission when necessary; there is
+/// no global control for stalling the pipeline.").
+///
+/// The producer drives `valid` and `data` from its eval(); the consumer
+/// drives `ready` from its eval(); a transfer occurs ("fires") on a clock
+/// edge where both are asserted, and both sides observe this in commit().
+template <typename T>
+struct Handshake {
+  explicit Handshake(Simulator& sim) : valid(sim), data(sim), ready(sim) {}
+
+  Wire<bool> valid;
+  Wire<T> data;
+  Wire<bool> ready;
+
+  bool fire() const { return valid.get() && ready.get(); }
+
+  /// Producer-side helpers.
+  void offer(const T& v) {
+    valid.set(true);
+    data.set(v);
+  }
+  void withdraw() { valid.set(false); }
+
+  void reset() {
+    valid.reset();
+    data.reset();
+    ready.reset();
+  }
+};
+
+}  // namespace fpgafu::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace fpgafu::sim {
+
+/// A combinational signal (a VHDL wire / unregistered std_logic_vector).
+///
+/// Exactly one component should drive a Wire (from its `eval()`); any number
+/// may read it.  Writes are change-detecting so the kernel's fixed-point
+/// settling knows when the net has stabilised.
+template <typename T>
+class Wire {
+ public:
+  explicit Wire(Simulator& sim, T initial = T{})
+      : sim_(&sim), value_(std::move(initial)), reset_value_(value_) {}
+
+  const T& get() const { return value_; }
+
+  void set(const T& v) {
+    if (!(value_ == v)) {
+      value_ = v;
+      sim_->note_change();
+    }
+  }
+
+  /// Restore the power-on value (drivers re-assert during the next settle).
+  void reset() { value_ = reset_value_; }
+
+ private:
+  Simulator* sim_;
+  T value_;
+  T reset_value_;
+};
+
+/// A register (flip-flop array).  `q()` is the visible value; `set_d()`
+/// stages the next value and `tick()` commits it.  Components call `set_d`
+/// and `tick` from their `commit()`; keeping the d/q split explicit makes
+/// multi-read-modify-write commit code obviously order-safe.
+template <typename T>
+class Reg {
+ public:
+  explicit Reg(T initial = T{})
+      : q_(initial), d_(initial), reset_value_(std::move(initial)) {}
+
+  const T& q() const { return q_; }
+  void set_d(T v) { d_ = std::move(v); }
+  void tick() { q_ = d_; }
+
+  void reset() {
+    q_ = reset_value_;
+    d_ = reset_value_;
+  }
+
+ private:
+  T q_;
+  T d_;
+  T reset_value_;
+};
+
+}  // namespace fpgafu::sim

@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "sim/component.hpp"
+
+namespace fpgafu::sim {
+
+void Simulator::add(Component& component) { components_.push_back(&component); }
+
+void Simulator::remove(Component& component) {
+  components_.erase(
+      std::remove(components_.begin(), components_.end(), &component),
+      components_.end());
+}
+
+void Simulator::reset() {
+  for (Component* c : components_) {
+    c->reset();
+  }
+  cycle_ = 0;
+  max_settle_ = 0;
+}
+
+void Simulator::step() {
+  unsigned iterations = 0;
+  do {
+    changed_ = false;
+    for (Component* c : components_) {
+      c->eval();
+    }
+    ++iterations;
+    if (iterations > settle_limit_) {
+      throw SimError("combinational loop: signals did not settle within " +
+                     std::to_string(settle_limit_) + " iterations");
+    }
+  } while (changed_);
+  max_settle_ = std::max(max_settle_, iterations);
+  for (Component* c : components_) {
+    c->commit();
+  }
+  ++cycle_;
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    step();
+  }
+}
+
+std::uint64_t Simulator::run_until(const std::function<bool()>& done,
+                                   std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (done()) {
+      return i;
+    }
+    step();
+  }
+  if (done()) {
+    return max_cycles;
+  }
+  throw SimError("watchdog: condition not reached within " +
+                 std::to_string(max_cycles) + " cycles");
+}
+
+}  // namespace fpgafu::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fpgafu::sim {
+
+class Component;
+
+/// Synchronous cycle-accurate simulation kernel.
+///
+/// The kernel stands in for the FPGA fabric: it advances a single global
+/// clock, which matches the paper's system (the framework runs in one clock
+/// domain; functional units *may* contain other domains internally, which in
+/// this model is expressed as multi-cycle behaviour inside a component).
+///
+/// Each cycle is executed in two phases:
+///   1. *Settle*: every component's `eval()` (combinational logic) runs
+///      repeatedly until no Wire changes value — a fixed-point evaluation
+///      that handles arbitrary acyclic combinational topologies without a
+///      static schedule.  A genuine combinational loop fails to converge and
+///      raises SimError, the moral equivalent of the synthesis error it
+///      would produce in VHDL.
+///   2. *Commit*: every component's `commit()` (clocked logic) runs once;
+///      commits read Wires and the component's own pre-commit state only, so
+///      commit order is immaterial — all registers update "simultaneously"
+///      exactly as flip-flops do on a clock edge.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Register a component.  The simulator does not own components; it must
+  /// outlive them (Component's ctor/dtor register/unregister automatically).
+  void add(Component& component);
+  void remove(Component& component);
+
+  /// Assert reset on every component and rewind the cycle counter.
+  void reset();
+
+  /// Advance one clock cycle (settle + commit).
+  void step();
+
+  /// Advance `n` cycles.
+  void run(std::uint64_t n);
+
+  /// Step until `done()` returns true, at most `max_cycles` cycles.
+  /// Returns the number of cycles consumed.  Throws SimError on timeout —
+  /// this is the watchdog used to detect e.g. a functional unit that never
+  /// acknowledges.
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          std::uint64_t max_cycles);
+
+  /// Cycles since construction or last reset().
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Called by Wire writes; marks the current settle pass dirty.
+  void note_change() { changed_ = true; }
+
+  /// Largest number of settle iterations any cycle has needed so far.
+  /// Exposed so tests can assert the model contains no pathological
+  /// combinational chains (see DESIGN.md §6).
+  unsigned max_settle_iterations() const { return max_settle_; }
+
+  /// Upper bound on settle iterations before declaring a combinational loop.
+  void set_settle_limit(unsigned limit) { settle_limit_ = limit; }
+
+ private:
+  std::vector<Component*> components_;
+  std::uint64_t cycle_ = 0;
+  bool changed_ = false;
+  unsigned settle_limit_ = 64;
+  unsigned max_settle_ = 0;
+};
+
+}  // namespace fpgafu::sim

@@ -1,0 +1,14 @@
+#include "sim/trace.hpp"
+
+namespace fpgafu::sim {
+
+void EventTrace::print(std::ostream& os) const {
+  for (const Entry& e : entries_) {
+    os << e.cycle << "  " << e.signal << " = " << e.value << '\n';
+  }
+  if (dropped_ > 0) {
+    os << "(" << dropped_ << " events dropped)\n";
+  }
+}
+
+}  // namespace fpgafu::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpgafu::sim {
+
+/// Lightweight signal/event trace, the debugging stand-in for a VHDL
+/// waveform dump.  Components call `event()` when something interesting
+/// happens (a handshake fires, an FSM changes state); tests can assert on
+/// the recorded sequence and developers can print it.
+class EventTrace {
+ public:
+  struct Entry {
+    std::uint64_t cycle;
+    std::string signal;
+    std::uint64_t value;
+  };
+
+  explicit EventTrace(std::size_t max_entries = 1u << 20)
+      : max_entries_(max_entries) {}
+
+  void event(std::uint64_t cycle, std::string signal, std::uint64_t value) {
+    if (entries_.size() < max_entries_) {
+      entries_.push_back({cycle, std::move(signal), value});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t max_entries_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Named monotonically increasing counters for cycle statistics
+/// (instructions dispatched, stalls, arbiter conflicts, ...).  Benchmarks
+/// read these to report utilisation the way the paper discusses pipeline
+/// behaviour.
+class Counters {
+ public:
+  void bump(const std::string& name, std::uint64_t by = 1) {
+    values_[name] += by;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return values_; }
+  void clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace fpgafu::sim

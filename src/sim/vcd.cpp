@@ -1,0 +1,91 @@
+#include "sim/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace fpgafu::sim {
+namespace {
+
+/// VCD identifier alphabet: printable ASCII, shortest-first.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(Simulator& sim, std::ostream& os, unsigned timescale_ns)
+    : Component(sim, "vcd_writer"), os_(&os), timescale_ns_(timescale_ns) {}
+
+void VcdWriter::probe(const std::string& name, unsigned width,
+                      std::function<std::uint64_t()> getter) {
+  check(!header_written_, "VcdWriter: probes must be added before tracing");
+  check(width >= 1 && width <= 64, "VcdWriter: width must be in [1, 64]");
+  Probe p;
+  p.name = name;
+  p.width = width;
+  p.getter = std::move(getter);
+  p.id = vcd_id(probes_.size());
+  probes_.push_back(std::move(p));
+}
+
+void VcdWriter::write_header() {
+  *os_ << "$timescale " << timescale_ns_ << "ns $end\n";
+  *os_ << "$scope module fpgafu $end\n";
+  for (const Probe& p : probes_) {
+    *os_ << "$var wire " << p.width << ' ' << p.id << ' ' << p.name
+         << " $end\n";
+  }
+  *os_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::emit_value(const Probe& p, std::uint64_t value) {
+  if (p.width == 1) {
+    *os_ << (value & 1) << p.id << '\n';
+  } else {
+    *os_ << 'b';
+    bool leading = true;
+    for (unsigned i = p.width; i-- > 0;) {
+      const bool bit = ((value >> i) & 1) != 0;
+      if (bit) {
+        leading = false;
+      }
+      if (!leading || i == 0) {
+        *os_ << (bit ? '1' : '0');
+      }
+    }
+    *os_ << ' ' << p.id << '\n';
+  }
+  ++changes_;
+}
+
+void VcdWriter::commit() {
+  if (!header_written_) {
+    write_header();
+  }
+  bool stamped = false;
+  for (Probe& p : probes_) {
+    const std::uint64_t v = p.getter();
+    if (!p.has_last || v != p.last) {
+      if (!stamped) {
+        *os_ << '#' << simulator().cycle() << '\n';
+        stamped = true;
+      }
+      emit_value(p, v);
+      p.last = v;
+      p.has_last = true;
+    }
+  }
+}
+
+void VcdWriter::reset() {
+  for (Probe& p : probes_) {
+    p.has_last = false;
+  }
+}
+
+}  // namespace fpgafu::sim

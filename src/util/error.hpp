@@ -1,0 +1,27 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fpgafu {
+
+/// Error raised when the simulated hardware model itself is misused or
+/// reaches an impossible state (combinational loop, watchdog timeout,
+/// out-of-range register index, ...).  Configuration errors made by the
+/// user of the library also surface as SimError.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw SimError if `cond` is false.  Used for precondition checks on the
+/// public API; internal invariants use assert-style checks as well so that
+/// misbehaviour is caught in release builds too (this is a simulator, and a
+/// silently-wrong cycle count is worse than an abort).
+inline void check(bool cond, const std::string& message) {
+  if (!cond) {
+    throw SimError(message);
+  }
+}
+
+}  // namespace fpgafu

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fpgafu {
+
+/// Fixed-capacity FIFO ring buffer.
+///
+/// This is the storage behind the simulated hardware FIFOs (sim::HwFifo) and
+/// the software-side message queues.  Capacity is fixed at construction, as
+/// it would be for a synthesised FPGA FIFO; push on a full buffer and pop on
+/// an empty buffer are programming errors and throw.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    check(capacity > 0, "RingBuffer capacity must be positive");
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+
+  void push(T value) {
+    check(!full(), "RingBuffer::push on full buffer");
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+  }
+
+  const T& front() const {
+    check(!empty(), "RingBuffer::front on empty buffer");
+    return slots_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 == front).
+  const T& at(std::size_t i) const {
+    check(i < size_, "RingBuffer::at out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  T pop() {
+    check(!empty(), "RingBuffer::pop on empty buffer");
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fpgafu

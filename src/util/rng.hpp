@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fpgafu {
+
+/// Deterministic xoshiro256** pseudo-random generator.
+///
+/// Used for workload generation in tests and benchmarks so that every run of
+/// the reproduction harness sees the same data regardless of the standard
+/// library.  It also backs the pseudo-random-number stateful functional unit
+/// example mentioned in the paper (Section IV-B lists PRNGs as a canonical
+/// stateful unit).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound).  bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Plain modulo; the bias is negligible for simulator workloads and it
+    // keeps the header free of compiler extensions.
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability numerator/denominator.
+  bool chance(std::uint64_t numerator, std::uint64_t denominator) {
+    return below(denominator) < numerator;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace fpgafu

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace fpgafu {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  check(!headers_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  check(cells.size() == headers_.size(),
+        "TextTable row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_bits(std::uint64_t value, unsigned width) {
+  std::string out;
+  out.reserve(width);
+  for (unsigned i = width; i-- > 0;) {
+    out.push_back(((value >> i) & 1u) != 0 ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace fpgafu

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpgafu {
+
+/// Column-aligned plain-text table writer.
+///
+/// The benchmark harness uses this to regenerate the paper's encoding tables
+/// (thesis Tables 3.1 / 3.2) and to print experiment result series in a shape
+/// comparable to the paper's reporting.
+class TextTable {
+ public:
+  /// Begin a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with single-space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string format_fixed(double value, int decimals);
+std::string format_bits(std::uint64_t value, unsigned width);
+
+}  // namespace fpgafu

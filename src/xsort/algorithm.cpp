@@ -1,0 +1,152 @@
+#include "xsort/algorithm.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::xsort {
+
+void XsortAlgorithm::load(const std::vector<std::uint64_t>& values) {
+  check(values.size() == engine_->capacity(),
+        "xsort: value count must equal the cell-array capacity "
+        "(use sort_padded for partial arrays)");
+  issue(XsortOp::kReset, engine_->capacity() - 1);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    // Loading shifts existing contents toward higher cells; feeding in
+    // reverse leaves values[0] in cell 0 (cosmetic — the algorithm is
+    // order-agnostic, but tests read nicer).
+    issue(XsortOp::kLoad, *it);
+  }
+}
+
+XsortAlgorithm::Split XsortAlgorithm::split_partition(std::uint64_t p,
+                                                      std::uint64_t q,
+                                                      std::uint64_t pivot) {
+  // Select the partition: exactly the cells whose interval is <p, q>.
+  issue(XsortOp::kSelectAll);
+  issue(XsortOp::kMatchLower, p);
+  issue(XsortOp::kMatchUpper, q);
+  issue(XsortOp::kSave);
+
+  // Less-than group keeps the sub-interval <p, p+lt-1>.
+  const std::uint64_t lt = issue(XsortOp::kMatchLt, pivot);
+  issue(XsortOp::kSetLower, p);
+  issue(XsortOp::kSetUpper, p + lt - 1);  // no-op when lt == 0 (none selected)
+
+  // Equal group: final ranks handed out by the scan network in one op.
+  issue(XsortOp::kRestore);
+  const std::uint64_t eq = issue(XsortOp::kMatchEq, pivot);
+  issue(XsortOp::kRankSelected, p + lt);
+
+  // Greater-than group keeps <p+lt+eq, q>.
+  issue(XsortOp::kRestore);
+  issue(XsortOp::kMatchGt, pivot);
+  issue(XsortOp::kSetLower, p + lt + eq);
+  issue(XsortOp::kSetUpper, q);
+
+  return {lt, eq};
+}
+
+std::uint64_t XsortAlgorithm::run_sort_rounds() {
+  std::uint64_t rounds = 0;
+  while (issue(XsortOp::kCountImprecise) != 0) {
+    const std::uint64_t pivot = issue(XsortOp::kPivotData);
+    const std::uint64_t p = issue(XsortOp::kPivotLower);
+    const std::uint64_t q = issue(XsortOp::kPivotUpper);
+    split_partition(p, q, pivot);
+    ++rounds;
+    ++stats_.rounds;
+  }
+  return rounds;
+}
+
+std::vector<std::uint64_t> XsortAlgorithm::unload() {
+  std::vector<std::uint64_t> out;
+  out.reserve(engine_->capacity());
+  for (std::uint64_t rank = 0; rank < engine_->capacity(); ++rank) {
+    out.push_back(issue(XsortOp::kReadRank, rank));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> XsortAlgorithm::sort(
+    const std::vector<std::uint64_t>& values) {
+  load(values);
+  run_sort_rounds();
+  return unload();
+}
+
+std::vector<std::uint64_t> XsortAlgorithm::sort_padded(
+    const std::vector<std::uint64_t>& values, unsigned data_bits) {
+  const std::uint64_t sentinel = bits::mask(data_bits);
+  check(values.size() <= engine_->capacity(), "more values than cells");
+  for (const auto v : values) {
+    check(v < sentinel, "sort_padded requires values below the sentinel");
+  }
+  std::vector<std::uint64_t> padded = values;
+  padded.resize(engine_->capacity(), sentinel);
+  std::vector<std::uint64_t> sorted = sort(padded);
+  sorted.resize(values.size());
+  return sorted;
+}
+
+std::vector<std::uint64_t> XsortAlgorithm::partial_sort(std::uint64_t k) {
+  check(k <= engine_->capacity(), "partial_sort: k out of range");
+  // Refine like the full sort, but any partition that lies entirely at
+  // ranks >= k is *discarded* instead of split: its cells receive arbitrary
+  // (but distinct, in-range) precise ranks from the scan network in a
+  // single operation.  Ranks below k are still globally correct; the
+  // discarded region's internal order is never read.
+  while (issue(XsortOp::kCountImprecise) != 0) {
+    const std::uint64_t p = issue(XsortOp::kPivotLower);
+    const std::uint64_t q = issue(XsortOp::kPivotUpper);
+    if (p >= k) {
+      // Collapse: hand out ranks p, p+1, ..., q in cell order.
+      issue(XsortOp::kSelectAll);
+      issue(XsortOp::kMatchLower, p);
+      issue(XsortOp::kMatchUpper, q);
+      issue(XsortOp::kRankSelected, p);
+    } else {
+      const std::uint64_t pivot = issue(XsortOp::kPivotData);
+      split_partition(p, q, pivot);
+    }
+    ++stats_.rounds;
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t rank = 0; rank < k; ++rank) {
+    out.push_back(issue(XsortOp::kReadRank, rank));
+  }
+  return out;
+}
+
+std::uint64_t XsortAlgorithm::rank_of(std::uint64_t value) {
+  issue(XsortOp::kSelectAll);
+  return issue(XsortOp::kMatchLt, value);
+}
+
+std::uint64_t XsortAlgorithm::select(std::uint64_t k) {
+  check(k < engine_->capacity(), "selection rank out of range");
+  std::uint64_t p = 0;
+  std::uint64_t q = engine_->capacity() - 1;
+  while (p != q) {
+    // Pivot: the leftmost cell of the current partition (selected by its
+    // exact interval — after selection the tree reads its data).
+    issue(XsortOp::kSelectAll);
+    issue(XsortOp::kMatchLower, p);
+    issue(XsortOp::kMatchUpper, q);
+    const std::uint64_t pivot = issue(XsortOp::kReadFirst);
+    const Split s = split_partition(p, q, pivot);
+    ++stats_.rounds;
+    if (k < p + s.lt) {
+      q = p + s.lt - 1;
+    } else if (k < p + s.lt + s.eq) {
+      return pivot;  // k landed in the equal group
+    } else {
+      p = p + s.lt + s.eq;
+    }
+  }
+  // Partition of one imprecise... p == q means the rank is already final.
+  return issue(XsortOp::kReadRank, p);
+}
+
+}  // namespace fpgafu::xsort

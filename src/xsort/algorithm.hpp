@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xsort/engine.hpp"
+
+namespace fpgafu::xsort {
+
+/// Operation/round statistics of one algorithm run.
+struct XsortStats {
+  std::uint64_t ops = 0;     ///< χ-sort instructions issued
+  std::uint64_t rounds = 0;  ///< partition-refinement rounds
+};
+
+/// Host-side driver of the χ-sort algorithm (thesis §3.3, [11]):
+/// selection and sorting over an array represented with index intervals.
+///
+/// Every element carries an interval <lower, upper> of positions it may
+/// occupy in the sorted order; initially <0, n-1> ("the complete lack of
+/// knowledge of where the elements belong").  Each refinement round picks
+/// the leftmost imprecise partition, broadcasts a pivot from it, and in a
+/// **fixed number of clock cycles** splits the partition three ways —
+/// less-than keeps <p, p+lt-1>, the equal group receives its final ranks
+/// through the scan network, greater-than keeps <p+lt+eq, q>.  A round's
+/// cost is independent of n; software needs Θ(n) per round.
+class XsortAlgorithm {
+ public:
+  explicit XsortAlgorithm(XsortEngine& engine) : engine_(&engine) {}
+
+  /// Reset the array and shift-load `values`.  The array must be exactly
+  /// full: values.size() == engine.capacity().  (To sort fewer values, pad
+  /// with a sentinel larger than every real value and ignore the top
+  /// ranks, as sort_padded does.)
+  void load(const std::vector<std::uint64_t>& values);
+
+  /// Refine until every interval is precise.  Returns the number of rounds.
+  std::uint64_t run_sort_rounds();
+
+  /// Read the sorted sequence back (rank by rank).
+  std::vector<std::uint64_t> unload();
+
+  /// Convenience: load + refine + unload.
+  std::vector<std::uint64_t> sort(const std::vector<std::uint64_t>& values);
+
+  /// Sort values.size() <= capacity values by padding with the sentinel
+  /// (all-ones in the data width); requires every value < sentinel.
+  std::vector<std::uint64_t> sort_padded(
+      const std::vector<std::uint64_t>& values, unsigned data_bits);
+
+  /// k-th smallest (0-based) of the loaded array, by interval refinement of
+  /// only the partition containing k — expected O(log n) rounds, each a
+  /// fixed number of cycles.  Must be called right after load().
+  std::uint64_t select(std::uint64_t k);
+
+  /// The k smallest values in ascending order, refining only partitions
+  /// that intersect ranks [0, k): expected O(k + log n) rounds instead of a
+  /// full sort's ~n.  Must be called right after load().
+  std::vector<std::uint64_t> partial_sort(std::uint64_t k);
+
+  /// Number of loaded elements strictly less than `value` (the rank the
+  /// value would insert at) — three fixed-cycle operations, versus a Θ(n)
+  /// scan in software.  Selection state is clobbered.
+  std::uint64_t rank_of(std::uint64_t value);
+
+  /// Smallest / largest element: selection specialisations.
+  std::uint64_t min() { return select(0); }
+  std::uint64_t max() { return select(engine_->capacity() - 1); }
+
+  const XsortStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  /// Split the partition <p, q> (which must be selected exactly by its
+  /// bounds) around `pivot`; returns {lt, eq} group sizes.
+  struct Split {
+    std::uint64_t lt;
+    std::uint64_t eq;
+  };
+  Split split_partition(std::uint64_t p, std::uint64_t q, std::uint64_t pivot);
+
+  std::uint64_t issue(XsortOp op, std::uint64_t operand = 0) {
+    ++stats_.ops;
+    return engine_->op(op, operand);
+  }
+
+  XsortEngine* engine_;
+  XsortStats stats_;
+};
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,107 @@
+#include "xsort/baseline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fpgafu::xsort {
+namespace {
+
+using Vec = std::vector<std::uint64_t>;
+
+std::size_t median3(const Vec& v, std::size_t lo, std::size_t hi,
+                    BaselineStats& stats) {
+  const std::size_t mid = lo + (hi - lo) / 2;
+  stats.comparisons += 3;
+  const std::uint64_t a = v[lo], b = v[mid], c = v[hi];
+  if ((a <= b && b <= c) || (c <= b && b <= a)) return mid;
+  if ((b <= a && a <= c) || (c <= a && a <= b)) return lo;
+  return hi;
+}
+
+/// Hoare partition; returns the final pivot slot ranges [lt_end, gt_begin).
+std::pair<std::size_t, std::size_t> partition3(Vec& v, std::size_t lo,
+                                               std::size_t hi,
+                                               BaselineStats& stats) {
+  const std::size_t pi = median3(v, lo, hi, stats);
+  const std::uint64_t pivot = v[pi];
+  // Dutch national flag three-way partition.
+  std::size_t i = lo, lt = lo, gt = hi + 1;
+  while (i < gt) {
+    ++stats.comparisons;
+    if (v[i] < pivot) {
+      std::swap(v[i], v[lt]);
+      stats.moves += 3;
+      ++i;
+      ++lt;
+    } else if (v[i] > pivot) {
+      --gt;
+      std::swap(v[i], v[gt]);
+      stats.moves += 3;
+    } else {
+      ++i;
+    }
+  }
+  return {lt, gt};
+}
+
+void qsort_rec(Vec& v, std::size_t lo, std::size_t hi, BaselineStats& stats) {
+  while (lo < hi) {
+    const auto [lt, gt] = partition3(v, lo, hi, stats);
+    // Recurse into the smaller side first to bound the stack.
+    if (lt > lo && (lt - lo) < (hi - gt + 1)) {
+      qsort_rec(v, lo, lt - 1, stats);
+      lo = gt;
+    } else {
+      if (gt <= hi) {
+        qsort_rec(v, gt, hi, stats);
+      }
+      if (lt == lo) {
+        break;
+      }
+      hi = lt - 1;
+    }
+  }
+}
+
+}  // namespace
+
+Vec cpu_sort(Vec values) {
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+std::uint64_t cpu_select(Vec values, std::uint64_t k) {
+  check(k < values.size(), "selection rank out of range");
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+
+Vec counted_quicksort(Vec values, BaselineStats& stats) {
+  if (!values.empty()) {
+    qsort_rec(values, 0, values.size() - 1, stats);
+  }
+  return values;
+}
+
+std::uint64_t counted_quickselect(Vec values, std::uint64_t k,
+                                  BaselineStats& stats) {
+  check(k < values.size(), "selection rank out of range");
+  std::size_t lo = 0, hi = values.size() - 1;
+  while (lo < hi) {
+    const auto [lt, gt] = partition3(values, lo, hi, stats);
+    if (k < lt) {
+      hi = lt - 1;
+    } else if (k >= gt) {
+      lo = gt;
+    } else {
+      return values[k];
+    }
+  }
+  return values[lo];
+}
+
+}  // namespace fpgafu::xsort

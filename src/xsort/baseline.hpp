@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpgafu::xsort {
+
+/// Conventional-CPU baselines for the χ-sort experiments: the comparison
+/// targets are (a) the same interval algorithm run in software (see
+/// SoftXsortEngine) and (b) the best conventional sequential algorithms,
+/// with operation counting so results can be converted into modelled CPU
+/// cycles alongside real wall-clock measurements.
+struct BaselineStats {
+  std::uint64_t comparisons = 0;
+  std::uint64_t moves = 0;
+};
+
+/// std::sort wrapper (wall-clock baseline).
+std::vector<std::uint64_t> cpu_sort(std::vector<std::uint64_t> values);
+
+/// std::nth_element wrapper: k-th smallest, 0-based.
+std::uint64_t cpu_select(std::vector<std::uint64_t> values, std::uint64_t k);
+
+/// Instrumented quicksort (median-of-three), counting comparisons/moves.
+std::vector<std::uint64_t> counted_quicksort(std::vector<std::uint64_t> values,
+                                             BaselineStats& stats);
+
+/// Instrumented quickselect, counting comparisons/moves.
+std::uint64_t counted_quickselect(std::vector<std::uint64_t> values,
+                                  std::uint64_t k, BaselineStats& stats);
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "xsort/types.hpp"
+
+namespace fpgafu::xsort {
+
+/// Abstract χ-sort execution engine: issue one operation, obtain its result
+/// word.  The algorithm driver (algorithm.hpp) runs against this interface,
+/// so exactly the same host-side code exercises
+///  * the simulated hardware unit (HwXsortEngine — fixed cycles per op),
+///  * the full coprocessor system through the RTM and the link
+///    (host::Coprocessor-based engine in the examples/benchmarks), and
+///  * the software emulation (SoftXsortEngine — Θ(n) work per op),
+/// which is precisely the paper's hardware/software comparison axis.
+class XsortEngine {
+ public:
+  virtual ~XsortEngine() = default;
+
+  /// Issue one operation and return its result word.
+  virtual std::uint64_t op(XsortOp op, std::uint64_t operand) = 0;
+  std::uint64_t op(XsortOp o) { return op(o, 0); }
+
+  /// Number of cells in the engine's array.
+  virtual std::size_t capacity() const = 0;
+
+  /// Accumulated cost in (modelled or simulated) clock cycles.
+  virtual std::uint64_t cost_cycles() const = 0;
+  virtual void reset_cost() = 0;
+
+  /// Operations issued since construction or reset_cost().
+  std::uint64_t ops_issued() const { return ops_; }
+
+ protected:
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace fpgafu::xsort

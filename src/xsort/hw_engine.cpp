@@ -1,0 +1,83 @@
+#include "xsort/hw_engine.hpp"
+
+#include <optional>
+
+#include "sim/component.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::xsort {
+
+/// Testbench-style driver: plays dispatcher and write arbiter for the
+/// standalone unit, one blocking operation at a time.
+class HwXsortEngine::Driver : public sim::Component {
+ public:
+  Driver(sim::Simulator& sim, fu::FuPorts& ports)
+      : Component(sim, "xsort_driver"), ports_(&ports) {}
+
+  /// Issue one request and run the simulator until it completes.
+  fu::FuResult issue(const fu::FuRequest& req) {
+    pending_ = req;
+    result_.reset();
+    simulator().run_until([&] { return result_.has_value(); }, 100000);
+    return *result_;
+  }
+
+  void eval() override {
+    if (pending_.has_value() && ports_->idle.get()) {
+      ports_->dispatch.set(true);
+      ports_->request.set(*pending_);
+    } else {
+      ports_->dispatch.set(false);
+    }
+    ports_->data_acknowledge.set(ports_->data_ready.get());
+  }
+
+  void commit() override {
+    if (ports_->dispatch.get() && ports_->idle.get()) {
+      pending_.reset();
+    }
+    if (ports_->data_ready.get() && ports_->data_acknowledge.get()) {
+      result_ = ports_->result.get();
+    }
+  }
+
+  void reset() override {
+    pending_.reset();
+    result_.reset();
+  }
+
+ private:
+  fu::FuPorts* ports_;
+  std::optional<fu::FuRequest> pending_;
+  std::optional<fu::FuResult> result_;
+};
+
+HwXsortEngine::HwXsortEngine(const XsortConfig& config)
+    : unit_(std::make_unique<XsortUnit>(sim_, "xsort", config)),
+      driver_(std::make_unique<Driver>(sim_, unit_->ports)) {}
+
+HwXsortEngine::~HwXsortEngine() = default;
+
+std::uint64_t HwXsortEngine::op(XsortOp o, std::uint64_t operand) {
+  fu::FuRequest req;
+  req.variety = static_cast<isa::VarietyCode>(o);
+  req.operand1 = operand;
+  const fu::FuResult r = driver_->issue(req);
+  check((r.flags & (isa::FlagWord{1} << isa::flag::kError)) == 0,
+        "xsort unit reported an error flag");
+  ++ops_;
+  return r.data;
+}
+
+std::size_t HwXsortEngine::capacity() const { return unit_->cells().size(); }
+
+std::uint64_t HwXsortEngine::cost_cycles() const {
+  return sim_.cycle() - cost_base_;
+}
+
+void HwXsortEngine::reset_cost() {
+  cost_base_ = sim_.cycle();
+  ops_ = 0;
+}
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "xsort/engine.hpp"
+#include "xsort/unit.hpp"
+
+namespace fpgafu::xsort {
+
+/// χ-sort engine backed by the cycle-accurate hardware unit, driven
+/// directly over the functional-unit port protocol (the unit-level view;
+/// the examples and system benchmarks additionally drive the same unit
+/// through the full RTM + link path).
+///
+/// `cost_cycles()` is the number of simulated FPGA clock cycles consumed —
+/// fixed per operation, independent of the array size.
+class HwXsortEngine : public XsortEngine {
+ public:
+  explicit HwXsortEngine(const XsortConfig& config);
+  ~HwXsortEngine() override;
+
+  std::uint64_t op(XsortOp o, std::uint64_t operand) override;
+  using XsortEngine::op;
+
+  std::size_t capacity() const override;
+  std::uint64_t cost_cycles() const override;
+  void reset_cost() override;
+
+  const XsortUnit& unit() const { return *unit_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<XsortUnit> unit_;
+  class Driver;
+  std::unique_ptr<Driver> driver_;
+  std::uint64_t cost_base_ = 0;
+};
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,83 @@
+#include "xsort/microcode.hpp"
+
+namespace fpgafu::xsort {
+namespace {
+
+MicroOp cell_op(CellCmd cmd,
+                MicroOp::Broadcast b = MicroOp::Broadcast::kOperand,
+                std::uint64_t literal = 0) {
+  MicroOp u;
+  u.cmd = cmd;
+  u.broadcast = b;
+  u.literal = literal;
+  return u;
+}
+
+MicroOp capture_op(MicroOp::Capture what) {
+  MicroOp u;
+  u.capture = what;
+  return u;
+}
+
+}  // namespace
+
+MicrocodeRom::MicrocodeRom() : programs_(256) {
+  auto def = [&](XsortOp op, MicroProgram prog) {
+    programs_[static_cast<isa::VarietyCode>(op)] = std::move(prog);
+  };
+  using B = MicroOp::Broadcast;
+  using C = MicroOp::Capture;
+
+  // Reset: select everything, then widen every interval to <0, operand>
+  // (the host passes n-1).  select_all must commit before the set commands
+  // sample the selection flags, hence three microinstructions.
+  def(XsortOp::kReset, {
+    cell_op({.select_all = true}),
+    cell_op({.set_lower = true}, B::kLiteral, 0),
+    cell_op({.set_upper = true}, B::kOperand),
+  });
+  def(XsortOp::kLoad, {cell_op({.load = true})});
+  def(XsortOp::kSelectAll, {cell_op({.select_all = true})});
+  def(XsortOp::kSelectImprecise, {cell_op({.select_imprecise = true})});
+  def(XsortOp::kMatchLt, {cell_op({.match_data_lt = true})});
+  def(XsortOp::kMatchEq, {cell_op({.match_data_eq = true})});
+  def(XsortOp::kMatchGt, {cell_op({.match_data_gt = true})});
+  def(XsortOp::kMatchLower, {cell_op({.match_lower = true})});
+  def(XsortOp::kMatchUpper, {cell_op({.match_upper = true})});
+  def(XsortOp::kMatchLowerI, {cell_op({.match_lower_i = true})});
+  def(XsortOp::kMatchUpperI, {cell_op({.match_upper_i = true})});
+  def(XsortOp::kSetLower, {cell_op({.set_lower = true})});
+  def(XsortOp::kSetUpper, {cell_op({.set_upper = true})});
+  def(XsortOp::kSetBounds, {cell_op({.set_bounds = true})});
+  def(XsortOp::kSave, {cell_op({.save = true})});
+  def(XsortOp::kRestore, {cell_op({.restore = true})});
+  def(XsortOp::kCount, {capture_op(C::kCountSelected)});
+  def(XsortOp::kCountImprecise, {capture_op(C::kCountImprecise)});
+  def(XsortOp::kReadFirst, {capture_op(C::kFirstSelectedData)});
+  def(XsortOp::kPivotData, {capture_op(C::kFirstImpreciseData)});
+  def(XsortOp::kPivotLower, {capture_op(C::kFirstImpreciseLower)});
+  def(XsortOp::kPivotUpper, {capture_op(C::kFirstImpreciseUpper)});
+  // ReadRank: narrow the selection to the cell holding rank `operand`, then
+  // read it through the tree.
+  def(XsortOp::kReadRank, {
+    cell_op({.select_all = true}),
+    cell_op({.match_lower = true}, B::kOperand),
+    capture_op(C::kFirstSelectedData),
+  });
+  def(XsortOp::kLoadSelected, {cell_op({.load_selected = true})});
+  def(XsortOp::kRankSelected, {cell_op({.rank_selected = true})});
+}
+
+const MicroProgram& MicrocodeRom::lookup(isa::VarietyCode variety) const {
+  return programs_[variety];
+}
+
+bool MicrocodeRom::defined(isa::VarietyCode variety) const {
+  return !programs_[variety].empty();
+}
+
+std::size_t MicrocodeRom::length(XsortOp op) const {
+  return programs_[static_cast<isa::VarietyCode>(op)].size();
+}
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xsort/types.hpp"
+
+namespace fpgafu::xsort {
+
+/// One microinstruction of the χ-sort controller (thesis §3.3.3: "a ROM
+/// storing microcode programs controlling the SIMD cells").  Each
+/// microinstruction occupies exactly one clock cycle: it may drive a cell
+/// command with a chosen broadcast-bus source, and/or capture one of the
+/// tree network's outputs into the unit's result register.
+struct MicroOp {
+  enum class Broadcast : std::uint8_t {
+    kOperand,   ///< the dispatched instruction's operand
+    kLiteral,   ///< a constant from the ROM word
+  };
+  enum class Capture : std::uint8_t {
+    kNone,
+    kCountSelected,
+    kCountImprecise,
+    kFirstSelectedData,
+    kFirstImpreciseData,
+    kFirstImpreciseLower,
+    kFirstImpreciseUpper,
+  };
+
+  CellCmd cmd;
+  Broadcast broadcast = Broadcast::kOperand;
+  std::uint64_t literal = 0;
+  Capture capture = Capture::kNone;
+};
+
+/// A microprogram: the ROM row for one XsortOp.
+using MicroProgram = std::vector<MicroOp>;
+
+/// The microcode ROM.  Every operation's program has a fixed length, so
+/// every χ-sort instruction costs a fixed number of cycles regardless of
+/// the array size — the property benchmarked in experiment E5.
+class MicrocodeRom {
+ public:
+  MicrocodeRom();
+
+  /// Program for an op; empty when the variety code is undefined (the unit
+  /// reports an error flag for those).
+  const MicroProgram& lookup(isa::VarietyCode variety) const;
+
+  /// Cycle count (= microprogram length) of an op.
+  std::size_t length(XsortOp op) const;
+
+  bool defined(isa::VarietyCode variety) const;
+
+ private:
+  std::vector<MicroProgram> programs_;  // indexed by variety code
+  MicroProgram empty_;
+};
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,50 @@
+#include "xsort/soft_engine.hpp"
+
+#include "util/error.hpp"
+
+namespace fpgafu::xsort {
+
+std::uint64_t SoftXsortEngine::op(XsortOp o, std::uint64_t operand) {
+  const auto variety = static_cast<isa::VarietyCode>(o);
+  check(rom_.defined(variety), "undefined xsort op");
+  const MicroProgram& prog = rom_.lookup(variety);
+  std::uint64_t result = 0;
+  for (const MicroOp& u : prog) {
+    if (u.cmd.any()) {
+      const std::uint64_t bcast = u.broadcast == MicroOp::Broadcast::kOperand
+                                      ? operand
+                                      : u.literal;
+      cells_.apply(u.cmd, bcast);
+    }
+    switch (u.capture) {
+      case MicroOp::Capture::kNone:
+        result = cells_.count_selected();
+        break;
+      case MicroOp::Capture::kCountSelected:
+        result = cells_.count_selected();
+        break;
+      case MicroOp::Capture::kCountImprecise:
+        result = cells_.count_imprecise();
+        break;
+      case MicroOp::Capture::kFirstSelectedData:
+        result = cells_.first_selected().data;
+        break;
+      case MicroOp::Capture::kFirstImpreciseData:
+        result = cells_.first_imprecise().data;
+        break;
+      case MicroOp::Capture::kFirstImpreciseLower:
+        result = cells_.first_imprecise().lower;
+        break;
+      case MicroOp::Capture::kFirstImpreciseUpper:
+        result = cells_.first_imprecise().upper;
+        break;
+    }
+    // Every microstep visits all n elements in software.
+    cost_ += model_.cycles_per_element * cells_.size();
+  }
+  cost_ += model_.cycles_per_op;
+  ++ops_;
+  return result;
+}
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "xsort/cell_array.hpp"
+#include "xsort/engine.hpp"
+#include "xsort/microcode.hpp"
+
+namespace fpgafu::xsort {
+
+/// Cost model of a conventional CPU executing one χ-sort primitive in
+/// software.  The paper: "with a CPU each operation requires an iteration
+/// that takes time proportional to the number of data elements."
+struct CpuCostModel {
+  std::uint64_t cycles_per_element = 3;  ///< per element, per microstep
+  std::uint64_t cycles_per_op = 20;      ///< call/loop overhead per op
+};
+
+/// Software emulation of the χ-sort engine: the same cell/tree semantics,
+/// but every operation walks the whole array — the Θ(n)-per-operation
+/// baseline the paper compares against.  `cost_cycles()` reports the
+/// modelled CPU cycle count; the benchmarks additionally measure real
+/// wall-clock time of this engine.
+class SoftXsortEngine : public XsortEngine {
+ public:
+  explicit SoftXsortEngine(const XsortConfig& config,
+                           const CpuCostModel& model = {})
+      : cells_(config), model_(model) {}
+
+  std::uint64_t op(XsortOp o, std::uint64_t operand) override;
+  using XsortEngine::op;
+
+  std::size_t capacity() const override { return cells_.size(); }
+  std::uint64_t cost_cycles() const override { return cost_; }
+  void reset_cost() override {
+    cost_ = 0;
+    ops_ = 0;
+  }
+
+  const CellArray& cells() const { return cells_; }
+
+ private:
+  CellArray cells_;
+  MicrocodeRom rom_;
+  CpuCostModel model_;
+  std::uint64_t cost_ = 0;
+};
+
+}  // namespace fpgafu::xsort

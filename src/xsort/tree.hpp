@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fpgafu::xsort {
+
+/// Balanced-binary-tree fold, mirroring the interior-node network of paper
+/// Fig. 8: "a logarithmic height tree is used to compute the count of SIMD
+/// cells whose selection flag register is set and to select a pivot element
+/// having an imprecise interval.  Both operations are associative and can
+/// therefore be realised with logarithmic delay in hardware."
+///
+/// The model evaluates the same tree shape a synthesiser would build —
+/// pairwise combination over ceil(log2 n) levels — so associativity bugs
+/// (a combine that silently depends on fold order) surface in tests, and
+/// the depth is available for the area/latency model.
+template <typename T, typename Combine>
+T tree_fold(const std::vector<T>& leaves, T identity, Combine combine,
+            unsigned* depth_out = nullptr) {
+  if (leaves.empty()) {
+    if (depth_out != nullptr) {
+      *depth_out = 0;
+    }
+    return identity;
+  }
+  std::vector<T> level = leaves;
+  unsigned depth = 0;
+  while (level.size() > 1) {
+    std::vector<T> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(combine(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+    ++depth;
+  }
+  if (depth_out != nullptr) {
+    *depth_out = depth;
+  }
+  return level.front();
+}
+
+/// Leaf payload for "leftmost matching cell" selections: the tree keeps the
+/// left operand whenever it is valid, so the root holds the leftmost match.
+struct Leftmost {
+  bool valid = false;
+  std::size_t index = 0;
+  std::uint64_t data = 0;
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+};
+
+inline Leftmost leftmost_combine(const Leftmost& a, const Leftmost& b) {
+  return a.valid ? a : b;
+}
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/types.hpp"
+
+namespace fpgafu::xsort {
+
+/// Geometry of the SIMD cell array (the generics of thesis Fig. 3.12:
+/// `data_bits` and `interval_bits`).
+struct XsortConfig {
+  std::size_t cells = 64;      ///< number of SIMD cells (array capacity)
+  unsigned data_bits = 32;     ///< width of the stored data words
+  unsigned interval_bits = 16; ///< width of the index-interval bounds
+
+  /// Tree timing ablation (DESIGN.md §6).  The thesis evaluates the fold/
+  /// scan tree combinationally within one cycle — its log-depth gate chain
+  /// then sits on the clock's critical path.  Setting this registers every
+  /// tree level instead: each *query* microinstruction costs an extra
+  /// ceil(log2 cells) cycles, but the critical path (and therefore the
+  /// achievable clock) no longer grows with the array size.
+  bool pipelined_tree = false;
+};
+
+/// Operations of the χ-sort functional unit, carried in the instruction's
+/// variety code.  Each op executes a microprogram from the unit's ROM; its
+/// cycle count is *fixed* — independent of the number of cells — which is
+/// the paper's headline property for stateful units.
+///
+/// The names mirror the cmd_* control signals of the cell schematic
+/// (thesis Fig. 3.12).
+enum class XsortOp : isa::VarietyCode {
+  kReset = 0x01,       ///< all cells: selected, interval <- <0, operand>
+  kLoad = 0x02,        ///< shift-load operand into cell 0 (others shift on)
+  kSelectAll = 0x03,
+  kSelectImprecise = 0x04,  ///< selected <- (lower != upper)
+  kMatchLt = 0x05,     ///< selected &= data <  operand
+  kMatchEq = 0x06,     ///< selected &= data == operand
+  kMatchGt = 0x07,     ///< selected &= data >  operand
+  kMatchLower = 0x08,  ///< selected &= lower == operand
+  kMatchUpper = 0x09,  ///< selected &= upper == operand
+  kMatchLowerI = 0x0a, ///< selected &= lower != operand (inverted match)
+  kMatchUpperI = 0x0b, ///< selected &= upper != operand
+  kSetLower = 0x0c,    ///< selected cells: lower <- operand
+  kSetUpper = 0x0d,    ///< selected cells: upper <- operand
+  kSetBounds = 0x0e,   ///< selected cells: lower, upper <- operand (precise)
+  kSave = 0x0f,        ///< saved_state <- selected
+  kRestore = 0x10,     ///< selected <- saved_state
+  kCount = 0x11,       ///< result <- number of selected cells (tree fold)
+  kCountImprecise = 0x12,  ///< result <- number of imprecise cells
+  kReadFirst = 0x13,   ///< result <- data of leftmost selected cell
+  kPivotData = 0x14,   ///< result <- data of leftmost imprecise cell
+  kPivotLower = 0x15,  ///< result <- its lower bound
+  kPivotUpper = 0x16,  ///< result <- its upper bound
+  kReadRank = 0x17,    ///< result <- data of the cell with lower == operand
+  kLoadSelected = 0x18, ///< selected cells: data <- operand
+  /// Parallel scan (paper Fig. 8: interior nodes "implement parallel scans
+  /// and folds"): the i-th selected cell (left to right) gets the precise
+  /// interval <operand+i, operand+i> — used to hand out consecutive final
+  /// ranks to a group of equal elements in one fixed-cycle operation.
+  kRankSelected = 0x19,
+};
+
+constexpr std::string_view to_string(XsortOp op) {
+  switch (op) {
+    case XsortOp::kReset: return "XRESET";
+    case XsortOp::kLoad: return "XLOAD";
+    case XsortOp::kSelectAll: return "XSELALL";
+    case XsortOp::kSelectImprecise: return "XSELIMP";
+    case XsortOp::kMatchLt: return "XMLT";
+    case XsortOp::kMatchEq: return "XMEQ";
+    case XsortOp::kMatchGt: return "XMGT";
+    case XsortOp::kMatchLower: return "XMLO";
+    case XsortOp::kMatchUpper: return "XMUP";
+    case XsortOp::kMatchLowerI: return "XMLOI";
+    case XsortOp::kMatchUpperI: return "XMUPI";
+    case XsortOp::kSetLower: return "XSLO";
+    case XsortOp::kSetUpper: return "XSUP";
+    case XsortOp::kSetBounds: return "XSB";
+    case XsortOp::kSave: return "XSAVE";
+    case XsortOp::kRestore: return "XREST";
+    case XsortOp::kCount: return "XCNT";
+    case XsortOp::kCountImprecise: return "XCNTI";
+    case XsortOp::kReadFirst: return "XRDF";
+    case XsortOp::kPivotData: return "XPVD";
+    case XsortOp::kPivotLower: return "XPVL";
+    case XsortOp::kPivotUpper: return "XPVU";
+    case XsortOp::kReadRank: return "XRDR";
+    case XsortOp::kLoadSelected: return "XLDS";
+    case XsortOp::kRankSelected: return "XRNK";
+  }
+  return "X?";
+}
+
+/// Per-cell control signals (the cmd_* inputs of thesis Fig. 3.12), decoded
+/// from a microinstruction.  All asserted commands act in the same clock
+/// cycle; the schematic's priority network resolves combinations, which the
+/// cell model mirrors.
+struct CellCmd {
+  bool load = false;
+  bool load_selected = false;
+  bool save = false;
+  bool restore = false;
+  bool select_all = false;
+  bool select_imprecise = false;
+  bool match_data_lt = false;
+  bool match_data_eq = false;
+  bool match_data_gt = false;
+  bool match_lower = false;
+  bool match_upper = false;
+  bool match_lower_i = false;
+  bool match_upper_i = false;
+  bool set_lower = false;
+  bool set_upper = false;
+  bool set_bounds = false;
+  bool rank_selected = false;  ///< scan: i-th selected cell gets rank base+i
+
+  bool any() const {
+    return load || load_selected || save || restore || select_all ||
+           select_imprecise || match_data_lt || match_data_eq ||
+           match_data_gt || match_lower || match_upper || match_lower_i ||
+           match_upper_i || set_lower || set_upper || set_bounds ||
+           rank_selected;
+  }
+};
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <string>
+
+#include "fu/functional_unit.hpp"
+#include "sim/signal.hpp"
+#include "xsort/cell_array.hpp"
+#include "xsort/microcode.hpp"
+
+namespace fpgafu::xsort {
+
+/// The χ-sort stateful functional unit: the SIMD cell array + tree network
+/// (paper Fig. 8), the microcoded controller with its Idle/Run FSM (thesis
+/// Fig. 3.10), and the functional-unit adapter that speaks the framework's
+/// dispatch/idle/data_ready/data_acknowledge protocol (thesis §3.3.4).
+///
+/// Timing: an operation costs 1 cycle to dispatch, `rom.length(op)` cycles
+/// of microprogram execution, and 1 cycle to hand the result to the write
+/// arbiter — fixed regardless of the number of cells, which is the paper's
+/// core claim for circuit-parallel stateful units.
+///
+/// Every operation returns a result word (queries return the captured tree
+/// output; commands return the post-command selected count, a convenient
+/// status for host-side loops) and a flag vector (kZero when the result is
+/// zero, kError for undefined variety codes).
+class XsortUnit : public fu::FunctionalUnit {
+ public:
+  XsortUnit(sim::Simulator& sim, std::string name, const XsortConfig& config)
+      : FunctionalUnit(sim, std::move(name)), cells_(config) {}
+
+  const CellArray& cells() const { return cells_; }
+  const MicrocodeRom& rom() const { return rom_; }
+
+  /// Total microinstructions executed (for the benchmarks' cycle accounting).
+  std::uint64_t micro_ops_executed() const { return micro_ops_; }
+
+  void eval() override {
+    ports.idle.set(state_ == State::kIdle);
+    ports.data_ready.set(state_ == State::kOutput);
+    ports.result.set(out_);
+  }
+
+  void commit() override {
+    switch (state_) {
+      case State::kIdle:
+        if (ports.dispatch.get()) {
+          const fu::FuRequest req = ports.request.get();
+          variety_ = req.variety;
+          operand_ = req.operand1;
+          dst_reg_ = req.dst_reg;
+          dst_flag_reg_ = req.dst_flag_reg;
+          pc_ = 0;
+          if (!rom_.defined(variety_)) {
+            finish(/*result=*/0, /*error=*/true);
+          } else {
+            state_ = State::kRun;
+          }
+        }
+        break;
+      case State::kRun: {
+        const MicroProgram& prog = rom_.lookup(variety_);
+        const MicroOp& u = prog[pc_];
+        if (wait_ == 0) {
+          // Microinstruction cost: 1 cycle, plus the registered tree's
+          // latency for query steps when the tree is pipelined.
+          wait_ = 1;
+          if (cells_.config().pipelined_tree &&
+              u.capture != MicroOp::Capture::kNone) {
+            wait_ += cells_.tree_depth();
+          }
+        }
+        if (--wait_ == 0) {
+          execute(u);
+          ++micro_ops_;
+          if (++pc_ >= prog.size()) {
+            finish(result_acc_, /*error=*/false);
+          }
+        }
+        break;
+      }
+      case State::kOutput:
+        if (ports.data_acknowledge.get()) {
+          ++completed_;
+          state_ = State::kIdle;
+        }
+        break;
+    }
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    cells_.reset();
+    state_ = State::kIdle;
+    pc_ = 0;
+    wait_ = 0;
+    micro_ops_ = 0;
+    result_acc_ = 0;
+    out_ = fu::FuResult{};
+  }
+
+ private:
+  enum class State { kIdle, kRun, kOutput };
+
+  void execute(const MicroOp& u) {
+    if (u.cmd.any()) {
+      const std::uint64_t bcast = u.broadcast == MicroOp::Broadcast::kOperand
+                                      ? operand_
+                                      : u.literal;
+      cells_.apply(u.cmd, bcast);
+    }
+    switch (u.capture) {
+      case MicroOp::Capture::kNone:
+        // Commands leave the running status: the selected count.
+        result_acc_ = cells_.count_selected();
+        break;
+      case MicroOp::Capture::kCountSelected:
+        result_acc_ = cells_.count_selected();
+        break;
+      case MicroOp::Capture::kCountImprecise:
+        result_acc_ = cells_.count_imprecise();
+        break;
+      case MicroOp::Capture::kFirstSelectedData:
+        result_acc_ = cells_.first_selected().data;
+        break;
+      case MicroOp::Capture::kFirstImpreciseData:
+        result_acc_ = cells_.first_imprecise().data;
+        break;
+      case MicroOp::Capture::kFirstImpreciseLower:
+        result_acc_ = cells_.first_imprecise().lower;
+        break;
+      case MicroOp::Capture::kFirstImpreciseUpper:
+        result_acc_ = cells_.first_imprecise().upper;
+        break;
+    }
+  }
+
+  void finish(std::uint64_t result, bool error) {
+    out_.data = result;
+    out_.flags = 0;
+    if (result == 0) {
+      out_.flags |= isa::FlagWord{1} << isa::flag::kZero;
+    }
+    if (error) {
+      out_.flags |= isa::FlagWord{1} << isa::flag::kError;
+    }
+    out_.dst_reg = dst_reg_;
+    out_.dst_flag_reg = dst_flag_reg_;
+    out_.write_data = true;
+    out_.write_flags = true;
+    state_ = State::kOutput;
+  }
+
+  CellArray cells_;
+  MicrocodeRom rom_;
+  State state_ = State::kIdle;
+  isa::VarietyCode variety_ = 0;
+  std::uint64_t operand_ = 0;
+  isa::RegNum dst_reg_ = 0;
+  isa::RegNum dst_flag_reg_ = 0;
+  std::size_t pc_ = 0;
+  std::uint32_t wait_ = 0;
+  std::uint64_t result_acc_ = 0;
+  std::uint64_t micro_ops_ = 0;
+  fu::FuResult out_;
+};
+
+}  // namespace fpgafu::xsort

@@ -1,0 +1,79 @@
+#include "area/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpgafu::area {
+namespace {
+
+TEST(AreaModel, EstimatesCompose) {
+  const Estimate a{10, 20, 30};
+  const Estimate b{1, 2, 3};
+  const Estimate sum = a + b;
+  EXPECT_EQ(sum.luts, 11u);
+  EXPECT_EQ(sum.ffs, 22u);
+  EXPECT_EQ(sum.bram_bits, 33u);
+}
+
+TEST(AreaModel, M4kRoundsUp) {
+  EXPECT_EQ((Estimate{0, 0, 0}.m4k_blocks()), 0u);
+  EXPECT_EQ((Estimate{0, 0, 1}.m4k_blocks()), 1u);
+  EXPECT_EQ((Estimate{0, 0, 4096}.m4k_blocks()), 1u);
+  EXPECT_EQ((Estimate{0, 0, 4097}.m4k_blocks()), 2u);
+}
+
+TEST(AreaModel, PipelinedSkeletonConsumesBram) {
+  // Thesis §2.3.4: "The skeleton presented uses a lot of FPGA resources and
+  // especially on-chip SRAM blocks consumed by the FIFO buffers."
+  fu::StatelessConfig minimal{.width = 32, .skeleton = fu::Skeleton::kMinimal};
+  fu::StatelessConfig pipelined{.width = 32,
+                                .skeleton = fu::Skeleton::kPipelined,
+                                .pipeline_depth = 4,
+                                .fifo_capacity = 16};
+  const Estimate m = stateless_unit(minimal);
+  const Estimate p = stateless_unit(pipelined);
+  EXPECT_EQ(m.bram_bits, 0u);
+  EXPECT_GT(p.bram_bits, 0u);
+  EXPECT_GT(p.ffs, m.ffs);
+}
+
+TEST(AreaModel, FifoDepthScalesBramLinearly) {
+  const Estimate d8 = fifo(8, 32);
+  const Estimate d64 = fifo(64, 32);
+  EXPECT_EQ(d64.bram_bits, 8 * d8.bram_bits);
+}
+
+TEST(AreaModel, XsortGrowsLinearlyInCells) {
+  xsort::XsortConfig small{.cells = 64, .interval_bits = 16};
+  xsort::XsortConfig large{.cells = 512, .interval_bits = 16};
+  const Estimate s = xsort_unit(small);
+  const Estimate l = xsort_unit(large);
+  const double ratio =
+      static_cast<double>(l.luts) / static_cast<double>(s.luts);
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(AreaModel, WiderWordsCostMoreRtm) {
+  rtm::RtmConfig w32;
+  w32.word_width = 32;
+  rtm::RtmConfig w64;
+  w64.word_width = 64;
+  EXPECT_GT(rtm(w64).ffs, rtm(w32).ffs);
+}
+
+TEST(AreaModel, SystemReportEndsWithTotal) {
+  rtm::RtmConfig rcfg;
+  std::vector<fu::StatelessConfig> units(2);
+  xsort::XsortConfig xcfg{.cells = 32};
+  const auto lines = system_report(rcfg, units, &xcfg);
+  ASSERT_EQ(lines.size(), 5u);  // rtm + 2 units + xsort + total
+  EXPECT_EQ(lines.back().component, "total");
+  Estimate sum;
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    sum += lines[i].estimate;
+  }
+  EXPECT_EQ(sum, lines.back().estimate);
+}
+
+}  // namespace
+}  // namespace fpgafu::area

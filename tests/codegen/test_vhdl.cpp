@@ -1,0 +1,116 @@
+#include "codegen/vhdl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpgafu::codegen {
+namespace {
+
+/// Rough structural sanity: every `entity X is` / `architecture Y of` has a
+/// matching `end`, and port lists balance their parentheses.
+void expect_balanced(const std::string& vhdl) {
+  int paren = 0;
+  for (const char c : vhdl) {
+    paren += c == '(' ? 1 : c == ')' ? -1 : 0;
+    ASSERT_GE(paren, 0);
+  }
+  EXPECT_EQ(paren, 0);
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = vhdl.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  // "end entity X;" itself contains "entity ", hence the doubling.
+  EXPECT_EQ(count("entity "), 2 * count("end entity "));
+  EXPECT_EQ(count("architecture "), 2 * count("end architecture "));
+  EXPECT_EQ(count("process ("), count("end process"));
+}
+
+TEST(VhdlCodegen, GenericsPackageCarriesConfiguration) {
+  rtm::RtmConfig cfg;
+  cfg.word_width = 64;
+  cfg.data_regs = 48;
+  cfg.flag_regs = 16;
+  cfg.encoder_depth = 6;
+  cfg.round_robin_arbiter = true;
+  const std::string pkg = rtm_generics_package(cfg, "my_config");
+  EXPECT_NE(pkg.find("package my_config is"), std::string::npos);
+  EXPECT_NE(pkg.find("WORD_WIDTH        : natural := 64"), std::string::npos);
+  EXPECT_NE(pkg.find("DATA_REGS         : natural := 48"), std::string::npos);
+  EXPECT_NE(pkg.find("DATA_REG_BITS     : natural := 6"), std::string::npos);
+  EXPECT_NE(pkg.find("FLAG_REG_BITS     : natural := 4"), std::string::npos);
+  EXPECT_NE(pkg.find("ARBITER_ROUND_ROBIN : boolean := true"),
+            std::string::npos);
+  EXPECT_NE(pkg.find("end package my_config;"), std::string::npos);
+}
+
+TEST(VhdlCodegen, MinimalSkeletonEntity) {
+  const std::string vhdl =
+      functional_unit_entity("my_unit", {.width = 32});
+  expect_balanced(vhdl);
+  EXPECT_NE(vhdl.find("entity my_unit is"), std::string::npos);
+  EXPECT_NE(vhdl.find("data_input_1     : in  std_logic_vector(31 downto 0)"),
+            std::string::npos);
+  EXPECT_NE(vhdl.find("architecture minimal of my_unit"), std::string::npos);
+  EXPECT_NE(vhdl.find("idle <= not reg_data_ready;"), std::string::npos);
+  // Every protocol signal of Fig. 5 is present.
+  for (const char* port :
+       {"dispatch", "variety_code", "idle", "data_ready", "data_output",
+        "data_acknowledge", "flags_output", "write_data"}) {
+    EXPECT_NE(vhdl.find(port), std::string::npos) << port;
+  }
+}
+
+TEST(VhdlCodegen, ForwardingVariantChangesIdleEquation) {
+  const std::string vhdl = functional_unit_entity(
+      "fwd_unit", {.width = 32, .skeleton = fu::Skeleton::kMinimalFwd});
+  EXPECT_NE(vhdl.find("idle <= (not reg_data_ready) or data_acknowledge;"),
+            std::string::npos);
+}
+
+TEST(VhdlCodegen, FsmSkeletonCarriesExecuteCycles) {
+  const std::string vhdl = functional_unit_entity(
+      "fsm_unit",
+      {.width = 32, .skeleton = fu::Skeleton::kFsm, .execute_cycles = 12});
+  expect_balanced(vhdl);
+  EXPECT_NE(vhdl.find("to_unsigned(12, countdown'length)"), std::string::npos);
+  EXPECT_NE(vhdl.find("st_idle, st_execute, st_output"), std::string::npos);
+}
+
+TEST(VhdlCodegen, PipelinedSkeletonCarriesGeometry) {
+  const std::string vhdl = functional_unit_entity(
+      "pipe_unit", {.width = 64,
+                    .skeleton = fu::Skeleton::kPipelined,
+                    .pipeline_depth = 5,
+                    .fifo_capacity = 16});
+  expect_balanced(vhdl);
+  EXPECT_NE(vhdl.find("PIPE_DEPTH : natural := 5"), std::string::npos);
+  EXPECT_NE(vhdl.find("FIFO_DEPTH : natural := 16"), std::string::npos);
+  EXPECT_NE(vhdl.find("data_input_1     : in  std_logic_vector(63 downto 0)"),
+            std::string::npos);
+}
+
+TEST(VhdlCodegen, XsortCellPortsMatchFig312) {
+  const std::string vhdl =
+      xsort_cell_entity({.cells = 64, .data_bits = 24, .interval_bits = 12});
+  expect_balanced(vhdl);
+  // Every cmd_* control signal of the schematic is present.
+  for (const char* cmd :
+       {"cmd_load", "cmd_save", "cmd_restore", "cmd_select_all",
+        "cmd_select_imprecise", "cmd_match_data_lt", "cmd_match_data_eq",
+        "cmd_match_data_gt", "cmd_match_lower_bound", "cmd_match_upper_bound",
+        "cmd_match_lower_bound_i", "cmd_match_upper_bound_i",
+        "cmd_set_lower_bound", "cmd_set_upper_bound", "cmd_set_bounds",
+        "cmd_rank_selected"}) {
+    EXPECT_NE(vhdl.find(cmd), std::string::npos) << cmd;
+  }
+  EXPECT_NE(vhdl.find("input_data             : in  std_logic_vector(23 downto 0)"),
+            std::string::npos);
+  EXPECT_NE(vhdl.find("lower_bound            : out std_logic_vector(11 downto 0)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpgafu::codegen

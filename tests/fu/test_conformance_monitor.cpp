@@ -1,0 +1,138 @@
+#include "fu/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fu/functional_unit.hpp"
+#include "support/fu_harness.hpp"
+
+namespace fpgafu::fu {
+namespace {
+
+using fpgafu::testing::FuDriver;
+
+/// A unit that violates the protocol on demand — verifies that the
+/// conformance monitor actually catches what it claims to catch (testing
+/// the verification tooling itself).
+class MisbehavingFu : public FunctionalUnit {
+ public:
+  enum class Fault {
+    kNone,
+    kWithdrawReady,   ///< deasserts data_ready before acknowledgement (V1)
+    kMutateResult,    ///< changes the result while pending (V2)
+    kSwallowDispatch, ///< accepts a dispatch but never completes it (V3)
+  };
+
+  MisbehavingFu(sim::Simulator& sim, Fault fault)
+      : FunctionalUnit(sim, "misbehaving"), fault_(fault) {}
+
+  void eval() override {
+    ports.idle.set(!pending_);
+    // V1 fault: drop ready after two pending cycles.
+    const bool ready =
+        pending_ && !(fault_ == Fault::kWithdrawReady && pending_age_ >= 2);
+    ports.data_ready.set(ready);
+    FuResult r = out_;
+    if (fault_ == Fault::kMutateResult && pending_age_ >= 2) {
+      r.data ^= 0xff;  // V2 fault: result drifts while pending
+    }
+    ports.result.set(r);
+  }
+
+  void commit() override {
+    if (pending_) {
+      ++pending_age_;
+    }
+    if (pending_ && ports.data_acknowledge.get() &&
+        ports.data_ready.get()) {
+      pending_ = false;
+      pending_age_ = 0;
+      ++completed_;
+    }
+    if (ports.dispatch.get() && !pending_) {
+      const FuRequest req = ports.request.get();
+      if (fault_ == Fault::kSwallowDispatch) {
+        return;  // V3 fault: dispatch vanishes
+      }
+      out_.data = req.operand1 + req.operand2;
+      out_.dst_reg = req.dst_reg;
+      out_.write_data = true;
+      out_.write_flags = false;
+      pending_ = true;
+      pending_age_ = 0;
+    }
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    pending_ = false;
+    pending_age_ = 0;
+    out_ = FuResult{};
+  }
+
+ private:
+  Fault fault_;
+  bool pending_ = false;
+  int pending_age_ = 0;
+  FuResult out_;
+};
+
+FuRequest req(isa::Word a, isa::Word b) {
+  FuRequest r;
+  r.operand1 = a;
+  r.operand2 = b;
+  r.dst_reg = 1;
+  return r;
+}
+
+TEST(ConformanceMonitor, CleanUnitHasNoViolations) {
+  sim::Simulator sim;
+  MisbehavingFu fu(sim, MisbehavingFu::Fault::kNone);
+  // Stalling arbiter so results sit pending for several cycles.
+  FuDriver drv(sim, "drv", fu.ports, 1, 4, 3);
+  ConformanceMonitor mon(sim, "mon", fu.ports);
+  for (int i = 0; i < 10; ++i) {
+    drv.enqueue(req(static_cast<isa::Word>(i), 1));
+  }
+  sim.run_until([&] { return drv.completions().size() == 10; }, 2000);
+  mon.check_drained();
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(ConformanceMonitor, CatchesReadyWithdrawal) {
+  sim::Simulator sim;
+  MisbehavingFu fu(sim, MisbehavingFu::Fault::kWithdrawReady);
+  FuDriver drv(sim, "drv", fu.ports, 1, 8, 5);  // slow acks expose the fault
+  ConformanceMonitor mon(sim, "mon", fu.ports);
+  drv.enqueue(req(1, 2));
+  sim.run(40);
+  ASSERT_FALSE(mon.violations().empty());
+  EXPECT_NE(mon.violations().front().find("withdrawn"), std::string::npos);
+}
+
+TEST(ConformanceMonitor, CatchesResultMutation) {
+  sim::Simulator sim;
+  MisbehavingFu fu(sim, MisbehavingFu::Fault::kMutateResult);
+  FuDriver drv(sim, "drv", fu.ports, 1, 8, 5);
+  ConformanceMonitor mon(sim, "mon", fu.ports);
+  drv.enqueue(req(1, 2));
+  sim.run(40);
+  ASSERT_FALSE(mon.violations().empty());
+  EXPECT_NE(mon.violations().front().find("result changed"),
+            std::string::npos);
+}
+
+TEST(ConformanceMonitor, CatchesSwallowedDispatchAtDrain) {
+  sim::Simulator sim;
+  MisbehavingFu fu(sim, MisbehavingFu::Fault::kSwallowDispatch);
+  FuDriver drv(sim, "drv", fu.ports);
+  ConformanceMonitor mon(sim, "mon", fu.ports);
+  drv.enqueue(req(1, 2));
+  sim.run(20);
+  mon.check_drained();
+  ASSERT_FALSE(mon.violations().empty());
+  EXPECT_NE(mon.violations().front().find("1 dispatches but 0 completions"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpgafu::fu

@@ -1,0 +1,120 @@
+#include "fu/scratchpad_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fu/conformance.hpp"
+#include "support/fu_harness.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::fu {
+namespace {
+
+using fpgafu::testing::FuDriver;
+
+struct SpRig {
+  sim::Simulator sim;
+  ScratchpadUnit sp;
+  FuDriver drv;
+
+  explicit SpRig(std::size_t words, unsigned width = 32)
+      : sp(sim, "sp", words, width), drv(sim, "drv", sp.ports) {}
+
+  FuResult op(isa::VarietyCode v, isa::Word addr, isa::Word data = 0) {
+    FuRequest r;
+    r.variety = v;
+    r.operand1 = addr;
+    r.operand2 = data;
+    r.dst_reg = 1;
+    const std::size_t before = drv.completions().size();
+    drv.enqueue(r);
+    sim.run_until([&] { return drv.completions().size() == before + 1; },
+                  1000);
+    return drv.completions().back().result;
+  }
+};
+
+bool err(const FuResult& r) { return bits::bit(r.flags, isa::flag::kError); }
+
+TEST(ScratchpadUnit, WriteReadRoundTrip) {
+  SpRig rig(64);
+  rig.op(ScratchpadUnit::kWrite, 10, 1234);
+  rig.op(ScratchpadUnit::kWrite, 63, 9999);
+  EXPECT_EQ(rig.op(ScratchpadUnit::kRead, 10).data, 1234u);
+  EXPECT_EQ(rig.op(ScratchpadUnit::kRead, 63).data, 9999u);
+  EXPECT_EQ(rig.op(ScratchpadUnit::kRead, 11).data, 0u);
+}
+
+TEST(ScratchpadUnit, OutOfRangeSetsErrorFlag) {
+  SpRig rig(16);
+  EXPECT_TRUE(err(rig.op(ScratchpadUnit::kWrite, 16, 1)));
+  EXPECT_TRUE(err(rig.op(ScratchpadUnit::kRead, 100)));
+  EXPECT_FALSE(err(rig.op(ScratchpadUnit::kRead, 15)));
+}
+
+TEST(ScratchpadUnit, FillAndSize) {
+  SpRig rig(8);
+  EXPECT_EQ(rig.op(ScratchpadUnit::kSize, 0).data, 8u);
+  rig.op(ScratchpadUnit::kFill, 0, 0x5a);
+  for (std::size_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(rig.sp.peek(a), 0x5au);
+  }
+}
+
+TEST(ScratchpadUnit, WidthMasksData) {
+  SpRig rig(4, /*width=*/16);
+  rig.op(ScratchpadUnit::kWrite, 0, 0x12345678);
+  EXPECT_EQ(rig.op(ScratchpadUnit::kRead, 0).data, 0x5678u);
+}
+
+TEST(ScratchpadUnit, DifferentialAgainstStdMap) {
+  SpRig rig(32);
+  std::map<isa::Word, isa::Word> model;
+  Xoshiro256 rng(777);
+  for (int i = 0; i < 1500; ++i) {
+    const isa::Word addr = rng.below(40);  // sometimes out of range
+    if (rng.chance(1, 2)) {
+      const isa::Word data = rng.next() & 0xffffffffu;
+      const auto r = rig.op(ScratchpadUnit::kWrite, addr, data);
+      if (addr < 32) {
+        model[addr] = data;
+        ASSERT_FALSE(err(r));
+      } else {
+        ASSERT_TRUE(err(r));
+      }
+    } else {
+      const auto r = rig.op(ScratchpadUnit::kRead, addr);
+      if (addr < 32) {
+        const auto it = model.find(addr);
+        ASSERT_EQ(r.data, it == model.end() ? 0 : it->second)
+            << "addr " << addr;
+      } else {
+        ASSERT_TRUE(err(r));
+      }
+    }
+  }
+}
+
+TEST(ScratchpadUnit, ConformsToProtocol) {
+  sim::Simulator sim;
+  ScratchpadUnit sp(sim, "sp", 16);
+  FuDriver drv(sim, "drv", sp.ports, 2, 3, 44);
+  ConformanceMonitor mon(sim, "mon", sp.ports);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 60; ++i) {
+    FuRequest r;
+    r.variety = rng.chance(1, 2) ? ScratchpadUnit::kWrite
+                                 : ScratchpadUnit::kRead;
+    r.operand1 = rng.below(16);
+    r.operand2 = rng.next();
+    drv.enqueue(r);
+  }
+  sim.run_until([&] { return drv.completions().size() == 60; }, 10000);
+  mon.check_drained();
+  EXPECT_TRUE(mon.violations().empty()) << mon.violations().front();
+}
+
+}  // namespace
+}  // namespace fpgafu::fu

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fu/cam_unit.hpp"
+#include "fu/conformance.hpp"
+#include "fu/prng_unit.hpp"
+#include "support/fu_harness.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::fu {
+namespace {
+
+using fpgafu::testing::FuDriver;
+
+FuRequest req(isa::VarietyCode variety, isa::Word op1 = 0, isa::Word op2 = 0) {
+  FuRequest r;
+  r.variety = variety;
+  r.operand1 = op1;
+  r.operand2 = op2;
+  r.dst_reg = 1;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// PRNG unit (paper §IV-B: "pseudorandom number generators").
+
+TEST(PrngUnit, DeterministicSequenceFromSeed) {
+  auto run_sequence = [](std::uint64_t seed, int n) {
+    sim::Simulator sim;
+    PrngUnit prng(sim, "prng", 32);
+    FuDriver drv(sim, "drv", prng.ports);
+    drv.enqueue(req(PrngUnit::kSeed, seed));
+    for (int i = 0; i < n; ++i) {
+      drv.enqueue(req(PrngUnit::kNext));
+    }
+    sim.run_until(
+        [&] { return drv.completions().size() == static_cast<std::size_t>(n) + 1; },
+        10000);
+    std::vector<isa::Word> out;
+    for (std::size_t i = 1; i < drv.completions().size(); ++i) {
+      out.push_back(drv.completions()[i].result.data);
+    }
+    return out;
+  };
+  const auto a = run_sequence(42, 50);
+  const auto b = run_sequence(42, 50);
+  const auto c = run_sequence(43, 50);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Values fit the configured width.
+  for (const auto v : a) {
+    EXPECT_LE(v, bits::mask(32));
+  }
+}
+
+TEST(PrngUnit, PeekDoesNotAdvance) {
+  sim::Simulator sim;
+  PrngUnit prng(sim, "prng", 32);
+  FuDriver drv(sim, "drv", prng.ports);
+  drv.enqueue(req(PrngUnit::kSeed, 7));
+  drv.enqueue(req(PrngUnit::kPeek));
+  drv.enqueue(req(PrngUnit::kPeek));
+  drv.enqueue(req(PrngUnit::kNext));
+  sim.run_until([&] { return drv.completions().size() == 4; }, 1000);
+  EXPECT_EQ(drv.completions()[1].result.data, drv.completions()[2].result.data);
+  EXPECT_NE(drv.completions()[2].result.data, drv.completions()[3].result.data);
+}
+
+TEST(PrngUnit, ZeroSeedIsRepaired) {
+  // xorshift sticks at zero; the unit must substitute a nonzero seed.
+  sim::Simulator sim;
+  PrngUnit prng(sim, "prng", 32);
+  FuDriver drv(sim, "drv", prng.ports);
+  drv.enqueue(req(PrngUnit::kSeed, 0));
+  drv.enqueue(req(PrngUnit::kNext));
+  sim.run_until([&] { return drv.completions().size() == 2; }, 1000);
+  EXPECT_NE(prng.state(), 0u);
+}
+
+TEST(PrngUnit, ConformsToProtocol) {
+  sim::Simulator sim;
+  PrngUnit prng(sim, "prng");
+  FuDriver drv(sim, "drv", prng.ports, 1, 3, 77);  // stalling arbiter
+  ConformanceMonitor mon(sim, "mon", prng.ports);
+  for (int i = 0; i < 40; ++i) {
+    drv.enqueue(req(PrngUnit::kNext));
+  }
+  sim.run_until([&] { return drv.completions().size() == 40; }, 5000);
+  mon.check_drained();
+  EXPECT_TRUE(mon.violations().empty()) << mon.violations().front();
+}
+
+TEST(PrngUnit, RoughUniformity) {
+  sim::Simulator sim;
+  PrngUnit prng(sim, "prng", 32);
+  FuDriver drv(sim, "drv", prng.ports);
+  const int n = 2000;
+  drv.enqueue(req(PrngUnit::kSeed, 99));
+  for (int i = 0; i < n; ++i) {
+    drv.enqueue(req(PrngUnit::kNext));
+  }
+  sim.run_until(
+      [&] { return drv.completions().size() == static_cast<std::size_t>(n) + 1; },
+      100000);
+  int buckets[4] = {0, 0, 0, 0};
+  for (std::size_t i = 1; i < drv.completions().size(); ++i) {
+    ++buckets[drv.completions()[i].result.data >> 30];
+  }
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, n / 4, n / 8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CAM unit (paper §IV-B: "associative memories").
+
+struct CamRig {
+  sim::Simulator sim;
+  CamUnit cam;
+  FuDriver drv;
+
+  explicit CamRig(std::size_t capacity)
+      : cam(sim, "cam", capacity), drv(sim, "drv", cam.ports) {}
+
+  fu::FuResult op(isa::VarietyCode v, isa::Word key = 0, isa::Word value = 0) {
+    const std::size_t before = drv.completions().size();
+    drv.enqueue(req(v, key, value));
+    sim.run_until([&] { return drv.completions().size() == before + 1; },
+                  1000);
+    return drv.completions().back().result;
+  }
+};
+
+bool hit(const fu::FuResult& r) {
+  return bits::bit(r.flags, isa::flag::kCarry);
+}
+
+TEST(CamUnit, InsertLookupErase) {
+  CamRig rig(8);
+  rig.op(CamUnit::kInsert, 100, 1111);
+  rig.op(CamUnit::kInsert, 200, 2222);
+  const auto l1 = rig.op(CamUnit::kLookup, 100);
+  EXPECT_TRUE(hit(l1));
+  EXPECT_EQ(l1.data, 1111u);
+  const auto miss = rig.op(CamUnit::kLookup, 300);
+  EXPECT_FALSE(hit(miss));
+  EXPECT_TRUE(bits::bit(miss.flags, isa::flag::kZero));
+  rig.op(CamUnit::kErase, 100);
+  EXPECT_FALSE(hit(rig.op(CamUnit::kLookup, 100)));
+  EXPECT_TRUE(hit(rig.op(CamUnit::kLookup, 200)));
+}
+
+TEST(CamUnit, InsertUpdatesExistingKey) {
+  CamRig rig(2);
+  rig.op(CamUnit::kInsert, 5, 50);
+  rig.op(CamUnit::kInsert, 5, 51);  // update, not a second slot
+  EXPECT_EQ(rig.op(CamUnit::kLookup, 5).data, 51u);
+  EXPECT_EQ(rig.op(CamUnit::kCount).data, 1u);
+}
+
+TEST(CamUnit, FullTableSetsErrorFlag) {
+  CamRig rig(2);
+  rig.op(CamUnit::kInsert, 1, 10);
+  rig.op(CamUnit::kInsert, 2, 20);
+  const auto full = rig.op(CamUnit::kInsert, 3, 30);
+  EXPECT_TRUE(bits::bit(full.flags, isa::flag::kError));
+  // Existing contents untouched.
+  EXPECT_EQ(rig.op(CamUnit::kLookup, 1).data, 10u);
+  EXPECT_FALSE(hit(rig.op(CamUnit::kLookup, 3)));
+  // Updating an existing key still works when full.
+  EXPECT_FALSE(bits::bit(rig.op(CamUnit::kInsert, 2, 21).flags,
+                         isa::flag::kError));
+}
+
+TEST(CamUnit, ClearEmptiesEverything) {
+  CamRig rig(4);
+  rig.op(CamUnit::kInsert, 1, 10);
+  rig.op(CamUnit::kInsert, 2, 20);
+  rig.op(CamUnit::kClear);
+  EXPECT_EQ(rig.op(CamUnit::kCount).data, 0u);
+  EXPECT_FALSE(hit(rig.op(CamUnit::kLookup, 1)));
+}
+
+TEST(CamUnit, LookupLatencyIndependentOfCapacity) {
+  // The associative search is one cycle whatever the table size — the
+  // circuit-parallelism property.
+  auto lookup_cycles = [](std::size_t capacity) {
+    CamRig rig(capacity);
+    rig.op(CamUnit::kInsert, 42, 4242);
+    const std::uint64_t before = rig.sim.cycle();
+    rig.op(CamUnit::kLookup, 42);
+    return rig.sim.cycle() - before;
+  };
+  EXPECT_EQ(lookup_cycles(4), lookup_cycles(4096));
+}
+
+TEST(CamUnit, DifferentialAgainstStdMap) {
+  CamRig rig(64);
+  std::map<isa::Word, isa::Word> model;
+  Xoshiro256 rng(321);
+  for (int i = 0; i < 2000; ++i) {
+    const isa::Word key = rng.below(100);
+    switch (rng.below(4)) {
+      case 0: {
+        const isa::Word value = rng.next();
+        const auto r = rig.op(CamUnit::kInsert, key, value);
+        if (model.size() < 64 || model.count(key) > 0) {
+          model[key] = value;
+          ASSERT_FALSE(bits::bit(r.flags, isa::flag::kError));
+        } else {
+          ASSERT_TRUE(bits::bit(r.flags, isa::flag::kError));
+        }
+        break;
+      }
+      case 1:
+        rig.op(CamUnit::kErase, key);
+        model.erase(key);
+        break;
+      case 2: {
+        const auto r = rig.op(CamUnit::kLookup, key);
+        const auto it = model.find(key);
+        ASSERT_EQ(hit(r), it != model.end()) << "key " << key;
+        if (it != model.end()) {
+          ASSERT_EQ(r.data, it->second);
+        }
+        break;
+      }
+      default:
+        ASSERT_EQ(rig.op(CamUnit::kCount).data, model.size());
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpgafu::fu

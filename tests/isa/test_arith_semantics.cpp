@@ -1,0 +1,189 @@
+#include "isa/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::isa::arith {
+namespace {
+
+FlagWord carry_flag(bool c) {
+  return static_cast<FlagWord>(c ? (1u << flag::kCarry) : 0);
+}
+
+// ---------------------------------------------------------------------------
+// Table 3.1 row structure: every instruction's variety code uses exactly the
+// control bits the thesis documents.
+
+TEST(ArithEncoding, Table31RowBits) {
+  using namespace vc;
+  auto has = [](Op op, unsigned bitpos) {
+    return bits::bit(variety(op), bitpos);
+  };
+  // ADD: output only.
+  EXPECT_EQ(variety(Op::kAdd), VarietyCode(1u << kOutputData));
+  // ADC adds use-carry.
+  EXPECT_TRUE(has(Op::kAdc, kUseCarry));
+  EXPECT_FALSE(has(Op::kAdc, kFixedCarry));
+  // SUB = complement second + fixed carry (two's complement subtract).
+  EXPECT_TRUE(has(Op::kSub, kComplementSecond));
+  EXPECT_TRUE(has(Op::kSub, kFixedCarry));
+  // SBB = complement second + use carry.
+  EXPECT_TRUE(has(Op::kSbb, kComplementSecond));
+  EXPECT_TRUE(has(Op::kSbb, kUseCarry));
+  // INC zeroes the second input and injects carry.
+  EXPECT_TRUE(has(Op::kInc, kSecondZero));
+  EXPECT_TRUE(has(Op::kInc, kFixedCarry));
+  // DEC zeroes + complements the second input (adds ~0 = -1).
+  EXPECT_TRUE(has(Op::kDec, kSecondZero));
+  EXPECT_TRUE(has(Op::kDec, kComplementSecond));
+  // NEG zeroes the FIRST input and negates the second.
+  EXPECT_TRUE(has(Op::kNeg, kFirstZero));
+  EXPECT_TRUE(has(Op::kNeg, kComplementSecond));
+  EXPECT_TRUE(has(Op::kNeg, kFixedCarry));
+  // Compares produce no data output.
+  EXPECT_FALSE(has(Op::kCmp, kOutputData));
+  EXPECT_FALSE(has(Op::kCmpb, kOutputData));
+  // All nine rows are distinct encodings.
+  for (Op a : kAllOps) {
+    for (Op b : kAllOps) {
+      if (a != b) {
+        EXPECT_NE(variety(a), variety(b))
+            << to_string(a) << " vs " << to_string(b);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterised semantic sweep: each named op against a two's complement
+// oracle, across widths and random operands.
+
+class ArithOps : public ::testing::TestWithParam<std::tuple<Op, unsigned>> {};
+
+TEST_P(ArithOps, MatchesTwosComplementOracle) {
+  const auto [op, width] = GetParam();
+  const Word wmask = bits::mask(width);
+  Xoshiro256 rng(static_cast<std::uint64_t>(width) * 131 +
+                 static_cast<std::uint64_t>(op));
+  for (int i = 0; i < 2000; ++i) {
+    const Word a = rng.next() & wmask;
+    const Word b = rng.next() & wmask;
+    const bool cf = rng.chance(1, 2);
+    const Result r = evaluate(variety(op), a, b, carry_flag(cf), width);
+
+    // Oracle, expressed per-op via an independent add-with-carry helper.
+    bits::AddResult o{0, false};
+    switch (op) {
+      case Op::kAdd: o = bits::add_with_carry(a, b, false, width); break;
+      case Op::kAdc: o = bits::add_with_carry(a, b, cf, width); break;
+      case Op::kSub:
+      case Op::kCmp:
+        o = bits::add_with_carry(a, ~b & wmask, true, width);
+        break;
+      case Op::kSbb:
+      case Op::kCmpb:
+        o = bits::add_with_carry(a, ~b & wmask, cf, width);
+        break;
+      case Op::kInc: o = bits::add_with_carry(a, 0, true, width); break;
+      case Op::kDec: o = bits::add_with_carry(a, wmask, false, width); break;
+      case Op::kNeg:
+        o = bits::add_with_carry(0, ~b & wmask, true, width);
+        break;
+    }
+    const Word expect = o.sum;
+    const bool expect_carry = o.carry;
+
+    EXPECT_EQ(r.value, expect) << to_string(op) << " a=" << a << " b=" << b;
+    EXPECT_EQ(bits::bit(r.flags, flag::kCarry), expect_carry);
+    EXPECT_EQ(bits::bit(r.flags, flag::kZero), expect == 0);
+    EXPECT_EQ(bits::bit(r.flags, flag::kNegative),
+              bits::bit(expect, width - 1));
+    EXPECT_EQ(r.write_data, op != Op::kCmp && op != Op::kCmpb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAllWidths, ArithOps,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(8u, 16u, 32u, 64u)),
+    [](const ::testing::TestParamInfo<std::tuple<Op, unsigned>>& pinfo) {
+      return std::string(to_string(std::get<0>(pinfo.param))) + "_w" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Directed cases.
+
+TEST(Arith, SubSetsCarryWhenNoBorrow) {
+  // ARM convention: A - B sets carry iff A >= B.
+  auto flags_of = [](Word a, Word b) {
+    return evaluate(variety(Op::kSub), a, b, 0, 32).flags;
+  };
+  EXPECT_TRUE(bits::bit(flags_of(5, 3), flag::kCarry));
+  EXPECT_TRUE(bits::bit(flags_of(3, 3), flag::kCarry));
+  EXPECT_FALSE(bits::bit(flags_of(3, 5), flag::kCarry));
+}
+
+TEST(Arith, CmpEqualSetsZero) {
+  const Result r = evaluate(variety(Op::kCmp), 1234, 1234, 0, 32);
+  EXPECT_TRUE(bits::bit(r.flags, flag::kZero));
+  EXPECT_FALSE(r.write_data);
+}
+
+TEST(Arith, SignedOverflowDetected) {
+  // 0x7fffffff + 1 overflows signed 32-bit.
+  const Result r = evaluate(variety(Op::kAdd), 0x7fffffff, 1, 0, 32);
+  EXPECT_TRUE(bits::bit(r.flags, flag::kOverflow));
+  EXPECT_TRUE(bits::bit(r.flags, flag::kNegative));
+  // 1 + 1 does not.
+  const Result r2 = evaluate(variety(Op::kAdd), 1, 1, 0, 32);
+  EXPECT_FALSE(bits::bit(r2.flags, flag::kOverflow));
+}
+
+TEST(Arith, NegActsOnSecondOperand) {
+  // "The negation instruction is applied to the second operand only, for
+  // reasons of logic compactness."  The first operand must be ignored.
+  const Result r = evaluate(variety(Op::kNeg), /*a=*/0xdeadbeef, /*b=*/5, 0, 32);
+  EXPECT_EQ(r.value, 0xfffffffbu);  // -5 in 32-bit two's complement
+}
+
+TEST(Arith, MultiWordAdditionViaAdc) {
+  // 64-bit addition decomposed into two 32-bit halves, carried through the
+  // flag register — the thesis' "multi-word operation is supported through
+  // an externally provided carry bit".
+  const std::uint64_t x = 0x00000001ffffffffULL;
+  const std::uint64_t y = 0x0000000200000001ULL;
+  const Result lo = evaluate(variety(Op::kAdd), x & 0xffffffff, y & 0xffffffff,
+                             0, 32);
+  const Result hi =
+      evaluate(variety(Op::kAdc), x >> 32, y >> 32, lo.flags, 32);
+  const std::uint64_t sum = (static_cast<std::uint64_t>(hi.value) << 32) |
+                            lo.value;
+  EXPECT_EQ(sum, x + y);
+}
+
+TEST(Arith, MultiWordSubtractionViaSbb) {
+  const std::uint64_t x = 0x0000000500000000ULL;
+  const std::uint64_t y = 0x0000000200000001ULL;
+  const Result lo = evaluate(variety(Op::kSub), x & 0xffffffff, y & 0xffffffff,
+                             0, 32);
+  const Result hi =
+      evaluate(variety(Op::kSbb), x >> 32, y >> 32, lo.flags, 32);
+  const std::uint64_t diff = (static_cast<std::uint64_t>(hi.value) << 32) |
+                             lo.value;
+  EXPECT_EQ(diff, x - y);
+}
+
+TEST(Arith, FullWidth64CarryOut) {
+  const Result r = evaluate(variety(Op::kAdd), ~Word{0}, 1, 0, 64);
+  EXPECT_EQ(r.value, 0u);
+  EXPECT_TRUE(bits::bit(r.flags, flag::kCarry));
+  EXPECT_TRUE(bits::bit(r.flags, flag::kZero));
+}
+
+}  // namespace
+}  // namespace fpgafu::isa::arith

@@ -1,0 +1,184 @@
+#include "isa/fp32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::isa::fp32 {
+namespace {
+
+std::uint32_t f2u(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+float u2f(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+
+/// Native-FPU oracle (x86 single ops are IEEE-754 round-to-nearest-even).
+/// NaN payloads are canonicalised on both sides before comparison.
+std::uint32_t canon(std::uint32_t u) {
+  const bool nan = (u & 0x7f800000u) == 0x7f800000u && (u & 0x007fffffu) != 0;
+  return nan ? 0x7fc00000u : u;
+}
+
+void expect_bitexact(std::uint32_t got, std::uint32_t want,
+                     std::uint32_t a, std::uint32_t b, const char* what) {
+  ASSERT_EQ(canon(got), canon(want))
+      << what << " a=0x" << std::hex << a << " b=0x" << b << " got=0x" << got
+      << " want=0x" << want << std::dec << " (" << u2f(a) << ", " << u2f(b)
+      << ")";
+}
+
+/// Interesting bit patterns: zeros, subnormals, normals near boundaries,
+/// infinities, NaNs.
+std::vector<std::uint32_t> edge_values() {
+  return {
+      0x00000000u, 0x80000000u,              // +-0
+      0x00000001u, 0x80000001u,              // smallest subnormals
+      0x007fffffu, 0x807fffffu,              // largest subnormals
+      0x00800000u, 0x80800000u,              // smallest normals
+      0x3f800000u, 0xbf800000u,              // +-1
+      0x3f800001u, 0x3effffffu,              // near 1
+      0x7f7fffffu, 0xff7fffffu,              // +-FLT_MAX
+      0x7f800000u, 0xff800000u,              // +-inf
+      0x7fc00000u, 0x7f800001u, 0xffc00000u, // NaNs
+      0x34000000u, 0x4b000000u, 0x4b800000u, // ulp-interesting scales
+      0x33800000u, 0x4effffffu, 0x5f000000u,
+  };
+}
+
+TEST(Fp32, AddBitExactOnEdges) {
+  for (const auto a : edge_values()) {
+    for (const auto b : edge_values()) {
+      expect_bitexact(soft_add(a, b), f2u(u2f(a) + u2f(b)), a, b, "add");
+    }
+  }
+}
+
+TEST(Fp32, MulBitExactOnEdges) {
+  for (const auto a : edge_values()) {
+    for (const auto b : edge_values()) {
+      expect_bitexact(soft_mul(a, b), f2u(u2f(a) * u2f(b)), a, b, "mul");
+    }
+  }
+}
+
+TEST(Fp32, DivBitExactOnEdges) {
+  for (const auto a : edge_values()) {
+    for (const auto b : edge_values()) {
+      expect_bitexact(soft_div(a, b), f2u(u2f(a) / u2f(b)), a, b, "div");
+    }
+  }
+}
+
+TEST(Fp32, AddBitExactRandomSweep) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    const auto b = static_cast<std::uint32_t>(rng.next());
+    expect_bitexact(soft_add(a, b), f2u(u2f(a) + u2f(b)), a, b, "add");
+  }
+}
+
+TEST(Fp32, MulBitExactRandomSweep) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 200000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    const auto b = static_cast<std::uint32_t>(rng.next());
+    expect_bitexact(soft_mul(a, b), f2u(u2f(a) * u2f(b)), a, b, "mul");
+  }
+}
+
+TEST(Fp32, DivBitExactRandomSweep) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 200000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    const auto b = static_cast<std::uint32_t>(rng.next());
+    expect_bitexact(soft_div(a, b), f2u(u2f(a) / u2f(b)), a, b, "div");
+  }
+}
+
+TEST(Fp32, RandomNearbyMagnitudes) {
+  // Same-exponent subtraction stresses cancellation / renormalisation.
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 50000; ++i) {
+    const auto exp = static_cast<std::uint32_t>(rng.below(254) + 1) << 23;
+    const auto a = static_cast<std::uint32_t>(
+        exp | (rng.next() & 0x807fffffu));
+    const auto b = static_cast<std::uint32_t>(
+        exp | (rng.next() & 0x807fffffu));
+    expect_bitexact(soft_add(a, b), f2u(u2f(a) + u2f(b)), a, b, "add-near");
+  }
+}
+
+TEST(Fp32, SubViaEvaluate) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    const auto b = static_cast<std::uint32_t>(rng.next());
+    const Result r = evaluate(variety(Op::kFsub), a, b);
+    expect_bitexact(static_cast<std::uint32_t>(r.value),
+                    f2u(u2f(a) - u2f(b)), a, b, "sub");
+  }
+}
+
+TEST(Fp32, FlagSemantics) {
+  // Overflow: FLT_MAX + FLT_MAX -> +inf with kOverflow.
+  const Result ovf = evaluate(variety(Op::kFadd), 0x7f7fffffu, 0x7f7fffffu);
+  EXPECT_TRUE(bits::bit(ovf.flags, flag::kOverflow));
+  EXPECT_FALSE(bits::bit(ovf.flags, flag::kError));
+  // Division by zero: error flag (the thesis' undefined-destination case).
+  const Result dbz = evaluate(variety(Op::kFdiv), f2u(1.0f), f2u(0.0f));
+  EXPECT_TRUE(bits::bit(dbz.flags, flag::kError));
+  // 0/0 -> NaN: error flag.
+  const Result nan = evaluate(variety(Op::kFdiv), 0, 0);
+  EXPECT_TRUE(bits::bit(nan.flags, flag::kError));
+  // Zero result: kZero.
+  const Result z = evaluate(variety(Op::kFadd), f2u(1.0f), f2u(-1.0f));
+  EXPECT_TRUE(bits::bit(z.flags, flag::kZero));
+  // Negative result: kNegative.
+  const Result n = evaluate(variety(Op::kFmul), f2u(2.0f), f2u(-3.0f));
+  EXPECT_TRUE(bits::bit(n.flags, flag::kNegative));
+}
+
+TEST(Fp32, CompareFlags) {
+  auto cmp = [](float a, float b) {
+    return evaluate(variety(Op::kFcmp), f2u(a), f2u(b)).flags;
+  };
+  EXPECT_TRUE(bits::bit(cmp(1.0f, 1.0f), flag::kZero));
+  EXPECT_TRUE(bits::bit(cmp(0.0f, -0.0f), flag::kZero));  // +-0 are equal
+  EXPECT_TRUE(bits::bit(cmp(-2.0f, 1.0f), flag::kNegative));
+  EXPECT_TRUE(bits::bit(cmp(-5.0f, -2.0f), flag::kNegative));
+  EXPECT_FALSE(bits::bit(cmp(3.0f, 2.0f), flag::kNegative));
+  const Result unordered = evaluate(variety(Op::kFcmp), 0x7fc00000u, 0);
+  EXPECT_TRUE(bits::bit(unordered.flags, flag::kError));
+  EXPECT_FALSE(unordered.write_data);
+}
+
+TEST(Fp32, CompareMatchesNativeOrderSweep) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next());
+    const auto b = static_cast<std::uint32_t>(rng.next());
+    const float fa = u2f(a), fb = u2f(b);
+    const Result r = evaluate(variety(Op::kFcmp), a, b);
+    if (std::isnan(fa) || std::isnan(fb)) {
+      ASSERT_TRUE(bits::bit(r.flags, flag::kError));
+    } else {
+      ASSERT_EQ(bits::bit(r.flags, flag::kZero), fa == fb);
+      ASSERT_EQ(bits::bit(r.flags, flag::kNegative), fa < fb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpgafu::isa::fp32

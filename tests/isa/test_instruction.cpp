@@ -1,0 +1,73 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/types.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::isa {
+namespace {
+
+TEST(Instruction, EncodeMatchesFieldLayout) {
+  Instruction inst;
+  inst.function = 0x10;
+  inst.variety = 0x25;
+  inst.dst_flag = 3;
+  inst.dst1 = 7;
+  inst.src_flag = 1;
+  inst.src2 = 9;
+  inst.src1 = 4;
+  inst.aux = 0xaa;
+  const Word w = inst.encode();
+  EXPECT_EQ(bits::field(w, 63, 56), 0x10u);
+  EXPECT_EQ(bits::field(w, 55, 48), 0x25u);
+  EXPECT_EQ(bits::field(w, 47, 40), 3u);
+  EXPECT_EQ(bits::field(w, 39, 32), 7u);
+  EXPECT_EQ(bits::field(w, 31, 24), 1u);
+  EXPECT_EQ(bits::field(w, 23, 16), 9u);
+  EXPECT_EQ(bits::field(w, 15, 8), 4u);
+  EXPECT_EQ(bits::field(w, 7, 0), 0xaau);
+}
+
+TEST(Instruction, DecodeIsTotal) {
+  // Every 64-bit word decodes without error; decode(encode(x)) == x.
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const Word w = rng.next();
+    const Instruction inst = Instruction::decode(w);
+    EXPECT_EQ(inst.encode(), w);
+  }
+}
+
+TEST(Instruction, RoundTripFromStruct) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    Instruction inst;
+    inst.function = static_cast<FunctionCode>(rng.below(256));
+    inst.variety = static_cast<VarietyCode>(rng.below(256));
+    inst.dst_flag = static_cast<RegNum>(rng.below(256));
+    inst.dst1 = static_cast<RegNum>(rng.below(256));
+    inst.src_flag = static_cast<RegNum>(rng.below(256));
+    inst.src2 = static_cast<RegNum>(rng.below(256));
+    inst.src1 = static_cast<RegNum>(rng.below(256));
+    inst.aux = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(Instruction::decode(inst.encode()), inst);
+  }
+}
+
+TEST(Instruction, DefaultIsAllZeroNop) {
+  EXPECT_EQ(Instruction{}.encode(), 0u);
+}
+
+TEST(Instruction, ToStringMentionsFields) {
+  Instruction inst;
+  inst.function = fc::kArith;
+  inst.dst1 = 3;
+  const std::string s = to_string(inst);
+  EXPECT_NE(s.find("fc=0x10"), std::string::npos);
+  EXPECT_NE(s.find("dst=r3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpgafu::isa

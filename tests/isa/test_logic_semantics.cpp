@@ -1,0 +1,90 @@
+#include "isa/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::isa::logic {
+namespace {
+
+// Scalar oracle for each named op.
+Word oracle(Op op, Word a, Word b, unsigned width) {
+  const Word m = bits::mask(width);
+  switch (op) {
+    case Op::kAnd: return (a & b) & m;
+    case Op::kOr: return (a | b) & m;
+    case Op::kXor: return (a ^ b) & m;
+    case Op::kNand: return ~(a & b) & m;
+    case Op::kNor: return ~(a | b) & m;
+    case Op::kXnor: return ~(a ^ b) & m;
+    case Op::kNot: return ~b & m;
+    case Op::kAndn: return (a & ~b) & m;
+    case Op::kOrn: return (a | ~b) & m;
+    case Op::kPass: return a & m;
+    case Op::kClear: return 0;
+    case Op::kSet: return m;
+  }
+  return 0;
+}
+
+class LogicOps : public ::testing::TestWithParam<Op> {};
+
+TEST_P(LogicOps, MatchesOracleAcrossRandomOperands) {
+  const Op op = GetParam();
+  for (const unsigned width : {8u, 32u, 64u}) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(op) * 7 + width);
+    for (int i = 0; i < 2000; ++i) {
+      const Word a = rng.next() & bits::mask(width);
+      const Word b = rng.next() & bits::mask(width);
+      const Result r = evaluate(variety(op), a, b, width);
+      const Word expect = oracle(op, a, b, width);
+      ASSERT_EQ(r.value, expect)
+          << to_string(op) << " a=" << a << " b=" << b << " w=" << width;
+      ASSERT_EQ(bits::bit(r.flags, flag::kZero), expect == 0);
+      ASSERT_EQ(bits::bit(r.flags, flag::kNegative),
+                bits::bit(expect, width - 1));
+      ASSERT_TRUE(r.write_data);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, LogicOps, ::testing::ValuesIn(kAllOps),
+                         [](const ::testing::TestParamInfo<Op>& pinfo) {
+                           return std::string(to_string(pinfo.param));
+                         });
+
+TEST(LogicEncoding, TruthTableIsTheEncoding) {
+  // The variety code's low nibble *is* the LUT2 truth table: evaluating an
+  // arbitrary nibble must behave as that boolean function.  This checks all
+  // 16 functions exhaustively over all 4 input combinations, bit by bit.
+  for (unsigned table = 0; table < 16; ++table) {
+    const auto v = static_cast<VarietyCode>(table | (1u << vc::kOutputData));
+    for (unsigned ab = 0; ab < 4; ++ab) {
+      const Word a = (ab >> 1) & 1;
+      const Word b = ab & 1;
+      const Word expect = (table >> ab) & 1;
+      EXPECT_EQ(evaluate(v, a, b, 1).value, expect)
+          << "table=" << table << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(LogicEncoding, NamedRowsAreDistinct) {
+  for (Op a : kAllOps) {
+    for (Op b : kAllOps) {
+      if (a != b) {
+        EXPECT_NE(variety(a), variety(b));
+      }
+    }
+  }
+}
+
+TEST(Logic, NotUsesSecondOperand) {
+  // Mirrors NEG's second-operand convention.
+  const Result r = evaluate(variety(Op::kNot), /*a=*/0xffffffff, /*b=*/0, 32);
+  EXPECT_EQ(r.value, 0xffffffffu);
+}
+
+}  // namespace
+}  // namespace fpgafu::isa::logic

@@ -1,0 +1,86 @@
+#include "isa/shift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::isa::shift {
+namespace {
+
+class ShiftOps : public ::testing::TestWithParam<Op> {};
+
+TEST_P(ShiftOps, MatchesOracle) {
+  const Op op = GetParam();
+  for (const unsigned width : {8u, 32u, 64u}) {
+    const Word m = bits::mask(width);
+    Xoshiro256 rng(static_cast<std::uint64_t>(op) * 13 + width);
+    for (int i = 0; i < 2000; ++i) {
+      const Word a = rng.next() & m;
+      const Word amount = rng.below(2 * width);  // exercises the modulo
+      const unsigned n = static_cast<unsigned>(amount % width);
+      const Result r = evaluate(variety(op), a, amount, width);
+
+      Word expect = 0;
+      switch (op) {
+        case Op::kShl: expect = (a << n) & m; break;
+        case Op::kShr: expect = a >> n; break;
+        case Op::kAsr: {
+          const std::int64_t sa = bits::sign_extend(a, width);
+          expect = static_cast<Word>(sa >> n) & m;
+          break;
+        }
+        case Op::kRol:
+          expect = n == 0 ? a : (((a << n) | (a >> (width - n))) & m);
+          break;
+        case Op::kRor:
+          expect = n == 0 ? a : (((a >> n) | (a << (width - n))) & m);
+          break;
+      }
+      ASSERT_EQ(r.value, expect)
+          << to_string(op) << " a=" << a << " n=" << n << " w=" << width;
+      ASSERT_EQ(bits::bit(r.flags, flag::kZero), expect == 0);
+      ASSERT_TRUE(r.write_data);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ShiftOps, ::testing::ValuesIn(kAllOps),
+                         [](const ::testing::TestParamInfo<Op>& pinfo) {
+                           return std::string(to_string(pinfo.param));
+                         });
+
+TEST(Shift, ZeroAmountIsIdentity) {
+  for (Op op : kAllOps) {
+    EXPECT_EQ(evaluate(variety(op), 0xabcd, 0, 32).value, 0xabcdu);
+    EXPECT_FALSE(
+        bits::bit(evaluate(variety(op), 0xabcd, 0, 32).flags, flag::kCarry));
+  }
+}
+
+TEST(Shift, ShlCarryIsLastBitOut) {
+  // 0x80000000 << 1 (32-bit) shifts the MSB into carry.
+  const Result r = evaluate(variety(Op::kShl), 0x80000000u, 1, 32);
+  EXPECT_EQ(r.value, 0u);
+  EXPECT_TRUE(bits::bit(r.flags, flag::kCarry));
+}
+
+TEST(Shift, AsrFillsSign) {
+  const Result r = evaluate(variety(Op::kAsr), 0x80000000u, 4, 32);
+  EXPECT_EQ(r.value, 0xf8000000u);
+}
+
+TEST(Shift, RotateRoundTrip) {
+  // ROL by n then ROR by n restores the value.
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const Word a = rng.next();
+    const Word n = rng.below(64);
+    const Word rolled = evaluate(variety(Op::kRol), a, n, 64).value;
+    const Word back = evaluate(variety(Op::kRor), rolled, n, 64).value;
+    ASSERT_EQ(back, a);
+  }
+}
+
+}  // namespace
+}  // namespace fpgafu::isa::shift

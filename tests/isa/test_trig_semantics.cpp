@@ -1,0 +1,95 @@
+#include "isa/trig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::isa::trig {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+constexpr double kQ30 = 1073741824.0;  // 2^30
+
+/// Reference: double-precision sin/cos of the BAM angle, in Q1.30 LSBs.
+double ref_sin(std::uint32_t bam) {
+  return std::sin(static_cast<double>(bam) / 4294967296.0 * kTwoPi) * kQ30;
+}
+double ref_cos(std::uint32_t bam) {
+  return std::cos(static_cast<double>(bam) / 4294967296.0 * kTwoPi) * kQ30;
+}
+
+/// CORDIC with 30 iterations is accurate to a few Q1.30 LSBs.
+constexpr double kTolLsb = 8.0;
+
+TEST(Cordic, CardinalAngles) {
+  const struct {
+    std::uint32_t bam;
+    double sin, cos;
+  } cases[] = {
+      {0x00000000u, 0.0, kQ30},    // 0
+      {0x40000000u, kQ30, 0.0},    // 90 deg
+      {0x80000000u, 0.0, -kQ30},   // 180 deg
+      {0xc0000000u, -kQ30, 0.0},   // 270 deg
+      {0x20000000u, kQ30 * std::sqrt(0.5), kQ30 * std::sqrt(0.5)},  // 45 deg
+  };
+  for (const auto& c : cases) {
+    const SinCos sc = cordic_sincos(c.bam);
+    EXPECT_NEAR(sc.sin, c.sin, kTolLsb) << "bam " << c.bam;
+    EXPECT_NEAR(sc.cos, c.cos, kTolLsb) << "bam " << c.bam;
+  }
+}
+
+TEST(Cordic, RandomAngleSweepAgainstLibm) {
+  Xoshiro256 rng(606);
+  for (int i = 0; i < 50000; ++i) {
+    const auto bam = static_cast<std::uint32_t>(rng.next());
+    const SinCos sc = cordic_sincos(bam);
+    ASSERT_NEAR(sc.sin, ref_sin(bam), kTolLsb) << "bam " << bam;
+    ASSERT_NEAR(sc.cos, ref_cos(bam), kTolLsb) << "bam " << bam;
+  }
+}
+
+TEST(Cordic, PythagoreanIdentityHolds) {
+  // sin^2 + cos^2 == 1 within the fixed-point tolerance (checks that the
+  // gain compensation constant is right).
+  Xoshiro256 rng(607);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bam = static_cast<std::uint32_t>(rng.next());
+    const SinCos sc = cordic_sincos(bam);
+    const double norm = (static_cast<double>(sc.sin) * sc.sin +
+                         static_cast<double>(sc.cos) * sc.cos) /
+                        (kQ30 * kQ30);
+    ASSERT_NEAR(norm, 1.0, 1e-7) << "bam " << bam;
+  }
+}
+
+TEST(Cordic, SymmetryProperties) {
+  Xoshiro256 rng(608);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bam = static_cast<std::uint32_t>(rng.next());
+    const SinCos a = cordic_sincos(bam);
+    const SinCos b = cordic_sincos(static_cast<std::uint32_t>(-static_cast<std::int64_t>(bam)));
+    // sin(-x) = -sin(x), cos(-x) = cos(x), up to CORDIC rounding.
+    ASSERT_NEAR(a.sin, -b.sin, 2 * kTolLsb);
+    ASSERT_NEAR(a.cos, b.cos, 2 * kTolLsb);
+  }
+}
+
+TEST(TrigUnit, EvaluateRoutesOpsAndFlags) {
+  const Result s = evaluate(variety(Op::kSin), 0x40000000u, 0);  // 90 deg
+  EXPECT_TRUE(s.write_data);
+  EXPECT_NEAR(static_cast<double>(static_cast<std::int32_t>(s.value)), kQ30,
+              kTolLsb);
+  const Result c = evaluate(variety(Op::kCos), 0x80000000u, 0);  // 180 deg
+  EXPECT_TRUE(bits::bit(c.flags, flag::kNegative));
+  // sin(0) lands within a couple of LSBs of zero (CORDIC's z-path ends on
+  // a residual micro-rotation, so an exact zero is not guaranteed).
+  const Result z = evaluate(variety(Op::kSin), 0, 0);
+  EXPECT_LE(std::abs(static_cast<std::int32_t>(z.value)), 4);
+}
+
+}  // namespace
+}  // namespace fpgafu::isa::trig

@@ -1,0 +1,112 @@
+#include "msg/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/handshake_harness.hpp"
+
+namespace fpgafu::msg {
+namespace {
+
+using fpgafu::testing::Consumer;
+using fpgafu::testing::Producer;
+
+TEST(Link, DownstreamDeliversInOrderWithLatency) {
+  sim::Simulator sim;
+  Link link(sim, "link", {/*latency=*/5, /*interval=*/1}, {1, 1});
+  Consumer<LinkWord> cons(sim, "cons");
+  cons.bind(link.rx);
+
+  link.host_send(10);
+  link.host_send(11);
+  link.host_send(12);
+  // Nothing arrives before the flight latency has elapsed.
+  sim.run(5);
+  EXPECT_TRUE(cons.received().empty());
+  sim.run(10);
+  EXPECT_EQ(cons.received(), (std::vector<LinkWord>{10, 11, 12}));
+}
+
+TEST(Link, DownstreamIntervalLimitsRate) {
+  sim::Simulator sim;
+  Link link(sim, "link", {/*latency=*/1, /*interval=*/10}, {1, 1});
+  Consumer<LinkWord> cons(sim, "cons");
+  cons.bind(link.rx);
+  for (LinkWord w = 0; w < 5; ++w) {
+    link.host_send(w);
+  }
+  const auto cycles =
+      sim.run_until([&] { return cons.received().size() == 5; }, 200);
+  // Words depart every 10 cycles: the last departs at t=40 and lands ~41.
+  EXPECT_GE(cycles, 41u);
+  EXPECT_LE(cycles, 45u);
+}
+
+TEST(Link, UpstreamRoundTrip) {
+  sim::Simulator sim;
+  Link link(sim, "link", {1, 1}, {/*latency=*/3, /*interval=*/1});
+  Producer<LinkWord> prod(sim, "prod", {100, 101, 102});
+  prod.bind(link.tx);
+  sim.run(10);
+  std::vector<LinkWord> got;
+  while (auto w = link.host_receive()) {
+    got.push_back(*w);
+  }
+  EXPECT_EQ(got, (std::vector<LinkWord>{100, 101, 102}));
+  EXPECT_TRUE(link.drained());
+}
+
+TEST(Link, UpstreamIntervalBackpressuresSender) {
+  sim::Simulator sim;
+  Link link(sim, "link", {1, 1}, {/*latency=*/1, /*interval=*/8});
+  Producer<LinkWord> prod(sim, "prod", {1, 2, 3, 4});
+  prod.bind(link.tx);
+  // 4 words at one per 8 cycles: needs ~32 cycles, not 4.
+  sim.run(16);
+  EXPECT_LT(link.words_up(), 4u);
+  sim.run(32);
+  EXPECT_EQ(link.words_up(), 4u);
+}
+
+TEST(Link, HostAvailableCountsOnlyArrived) {
+  sim::Simulator sim;
+  Link link(sim, "link", {1, 1}, {/*latency=*/10, /*interval=*/1});
+  Producer<LinkWord> prod(sim, "prod", {5});
+  prod.bind(link.tx);
+  sim.run(3);
+  EXPECT_EQ(link.host_available(), 0u);
+  EXPECT_FALSE(link.host_receive().has_value());
+  sim.run(15);
+  EXPECT_EQ(link.host_available(), 1u);
+}
+
+TEST(Link, SerialPresetIsMuchSlowerThanTight) {
+  auto run_words = [](const LinkPreset& preset, int n) {
+    sim::Simulator sim;
+    Link link(sim, "link", preset.timing, preset.timing);
+    Consumer<LinkWord> cons(sim, "cons");
+    cons.bind(link.rx);
+    for (int i = 0; i < n; ++i) {
+      link.host_send(static_cast<LinkWord>(i));
+    }
+    return sim.run_until(
+        [&] { return cons.received().size() == static_cast<std::size_t>(n); },
+        100000);
+  };
+  const auto tight = run_words(kTightLink, 32);
+  const auto serial = run_words(kSerialLink, 32);
+  EXPECT_GT(serial, tight * 10);
+}
+
+TEST(Link, ResetDropsInFlightWords) {
+  sim::Simulator sim;
+  Link link(sim, "link", {5, 1}, {5, 1});
+  link.host_send(1);
+  sim.run(2);
+  sim.reset();
+  EXPECT_TRUE(link.drained());
+  sim.run(20);
+  EXPECT_EQ(link.host_available(), 0u);
+}
+
+}  // namespace
+}  // namespace fpgafu::msg

@@ -1,0 +1,47 @@
+#include "msg/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fpgafu::msg {
+namespace {
+
+TEST(Response, LinkWordRoundTrip) {
+  Xoshiro256 rng(21);
+  const Response::Type types[] = {Response::Type::kData, Response::Type::kFlags,
+                                  Response::Type::kSyncDone,
+                                  Response::Type::kError};
+  for (int i = 0; i < 5000; ++i) {
+    Response r;
+    r.type = types[rng.below(4)];
+    r.code = static_cast<std::uint8_t>(rng.below(256));
+    r.seq = static_cast<std::uint16_t>(rng.below(65536));
+    r.payload = rng.next();
+    EXPECT_EQ(Response::from_link_words(r.to_link_words()), r);
+  }
+}
+
+TEST(Response, HeaderLayout) {
+  Response r;
+  r.type = Response::Type::kError;
+  r.code = 0x12;
+  r.seq = 0x3456;
+  r.payload = 0xaabbccdd00112233ULL;
+  const auto words = r.to_link_words();
+  EXPECT_EQ(words[0], 0x7f123456u);
+  EXPECT_EQ(words[1], 0xaabbccddu);
+  EXPECT_EQ(words[2], 0x00112233u);
+}
+
+TEST(Response, ToStringNamesType) {
+  Response r;
+  r.type = Response::Type::kFlags;
+  r.seq = 7;
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("FLAGS"), std::string::npos);
+  EXPECT_NE(s.find("seq=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpgafu::msg

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "host/reference_model.hpp"
+#include "support/program_gen.hpp"
+#include "support/rtm_harness.hpp"
+
+namespace fpgafu::rtm {
+namespace {
+
+using fpgafu::testing::ProgramGenOptions;
+using fpgafu::testing::random_program;
+using fpgafu::testing::RtmRig;
+
+struct DiffCase {
+  std::uint64_t seed;
+  fu::Skeleton skeleton;
+  bool errors;
+};
+
+class RtmDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(RtmDifferential, MatchesSequentialReference) {
+  const DiffCase c = GetParam();
+  rtm::RtmConfig cfg;
+  cfg.data_regs = 16;
+  cfg.flag_regs = 4;
+
+  ProgramGenOptions opt;
+  opt.instructions = 150;
+  opt.include_errors = c.errors;
+  const isa::Program program = random_program(cfg, c.seed, opt);
+
+  RtmRig rig(cfg, c.skeleton);
+  const auto hw = rig.run_program(program);
+
+  host::ReferenceModel model(cfg);
+  const auto expect = model.run(program);
+
+  ASSERT_EQ(hw.size(), expect.size());
+  for (std::size_t i = 0; i < hw.size(); ++i) {
+    EXPECT_EQ(hw[i], expect[i]) << "response " << i << ": hw "
+                                << msg::to_string(hw[i]) << " vs ref "
+                                << msg::to_string(expect[i]);
+  }
+  // Architectural state must also agree.
+  for (std::size_t r = 0; r < cfg.data_regs; ++r) {
+    EXPECT_EQ(rig.rtm.regs().read(static_cast<isa::RegNum>(r)),
+              model.reg(static_cast<isa::RegNum>(r)))
+        << "r" << r;
+  }
+  for (std::size_t r = 0; r < cfg.flag_regs; ++r) {
+    EXPECT_EQ(rig.rtm.flags().read(static_cast<isa::RegNum>(r)),
+              model.flag_reg(static_cast<isa::RegNum>(r)))
+        << "f" << r;
+  }
+  EXPECT_EQ(rig.rtm.locks().held(), 0u);
+}
+
+std::vector<DiffCase> make_cases() {
+  std::vector<DiffCase> cases;
+  const fu::Skeleton skeletons[] = {fu::Skeleton::kMinimal,
+                                    fu::Skeleton::kMinimalFwd, fu::Skeleton::kFsm,
+                                    fu::Skeleton::kPipelined};
+  std::uint64_t seed = 1000;
+  for (const auto sk : skeletons) {
+    for (int i = 0; i < 6; ++i) {
+      cases.push_back({seed++, sk, /*errors=*/(i % 2) == 1});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, RtmDifferential, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<DiffCase>& pinfo) {
+      const char* sk = "";
+      switch (pinfo.param.skeleton) {
+        case fu::Skeleton::kMinimal: sk = "Minimal"; break;
+        case fu::Skeleton::kMinimalFwd: sk = "MinimalFwd"; break;
+        case fu::Skeleton::kFsm: sk = "Fsm"; break;
+        case fu::Skeleton::kPipelined: sk = "Pipelined"; break;
+      }
+      return std::string(sk) + "_seed" + std::to_string(pinfo.param.seed) +
+             (pinfo.param.errors ? "_faulty" : "");
+    });
+
+TEST(RtmDifferential, LongProgramSingleSeed) {
+  // One long soak: 2000 instructions with faults and syncs.
+  rtm::RtmConfig cfg;
+  ProgramGenOptions opt;
+  opt.instructions = 2000;
+  opt.include_errors = true;
+  const isa::Program program = random_program(cfg, 777, opt);
+
+  RtmRig rig(cfg, fu::Skeleton::kPipelined);
+  const auto hw = rig.run_program(program, 2000000);
+  host::ReferenceModel model(cfg);
+  const auto expect = model.run(program);
+  ASSERT_EQ(hw.size(), expect.size());
+  for (std::size_t i = 0; i < hw.size(); ++i) {
+    ASSERT_EQ(hw[i], expect[i]) << "response " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fpgafu::rtm

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/assembler.hpp"
+#include "isa/fp32.hpp"
+#include "support/rtm_harness.hpp"
+#include "util/bits.hpp"
+
+namespace fpgafu::rtm {
+namespace {
+
+using fpgafu::testing::RtmRig;
+using isa::Assembler;
+
+std::uint32_t f2u(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+float u2f(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+
+TEST(RtmExtendedUnits, MultiplyDivideThroughPipeline) {
+  RtmRig rig;
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUT r1, #1000003
+    PUT r2, #97
+    MUL r3, r1, r2
+    DIV r4, r1, r2
+    REM r5, r1, r2
+    GET r3
+    GET r4
+    GET r5
+  )"));
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].payload, 1000003ull * 97);
+  EXPECT_EQ(responses[1].payload, 1000003ull / 97);
+  EXPECT_EQ(responses[2].payload, 1000003ull % 97);
+}
+
+TEST(RtmExtendedUnits, MulDivIsMultiCycle) {
+  // The FSM-based unit iterates one bit per clock: a MUL takes ~width
+  // cycles, so the sequence stalls the pipeline measurably compared to a
+  // single ADD.
+  RtmRig rig;
+  rig.run_program(Assembler::assemble(R"(
+    PUT r1, #3
+    PUT r2, #5
+    MUL r3, r1, r2
+    GET r3
+  )"));
+  // 32 execute cycles must have elapsed somewhere in there.
+  EXPECT_GE(rig.sim.cycle(), 32u);
+  EXPECT_GT(rig.rtm.counters().get("stall.lock") +
+                rig.rtm.counters().get("stall.unit_busy"),
+            0u);
+}
+
+TEST(RtmExtendedUnits, DivisionByZeroErrorFlagReachesHost) {
+  // The thesis' §3.2.1 convention end to end: the error flag lands in the
+  // destination flag register and the host reads it back.
+  RtmRig rig;
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUT r1, #42
+    PUTI r2, 0
+    DIV r3, r1, r2, f2
+    GETF f2
+  )"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(bits::bit(responses[0].code, isa::flag::kError));
+}
+
+TEST(RtmExtendedUnits, FloatingPointThroughPipeline) {
+  RtmRig rig;
+  isa::Program p;
+  p.emit_put(1, f2u(1.5f));
+  p.emit_put(2, f2u(2.25f));
+  Assembler::assemble_line("FADD r3, r1, r2", p);
+  Assembler::assemble_line("FMUL r4, r1, r2", p);
+  Assembler::assemble_line("FDIV r5, r2, r1", p);
+  Assembler::assemble_line("GET r3", p);
+  Assembler::assemble_line("GET r4", p);
+  Assembler::assemble_line("GET r5", p);
+  const auto responses = rig.run_program(p);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(u2f(static_cast<std::uint32_t>(responses[0].payload)), 3.75f);
+  EXPECT_EQ(u2f(static_cast<std::uint32_t>(responses[1].payload)), 3.375f);
+  EXPECT_EQ(u2f(static_cast<std::uint32_t>(responses[2].payload)), 1.5f);
+}
+
+TEST(RtmExtendedUnits, DivmodWritesQuotientAndRemainder) {
+  // The dual-output path (thesis Fig. 2.18 "Send Data 1 / Send Data 2"):
+  // one DIVMOD retires through two write-arbiter transactions.
+  RtmRig rig;
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUT r1, #1000003
+    PUT r2, #97
+    DIVMOD r3, r4, r1, r2
+    GET r3
+    GET r4
+  )"));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].payload, 1000003ull / 97);
+  EXPECT_EQ(responses[1].payload, 1000003ull % 97);
+  EXPECT_EQ(rig.rtm.locks().held(), 0u);  // both locks released
+}
+
+TEST(RtmExtendedUnits, DivmodRemainderReadStallsUntilSecondRecord) {
+  // A GET of the remainder register issued right behind the DIVMOD must
+  // observe the value (the dst2 lock holds it back until Send Data 2).
+  RtmRig rig;
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUTI r1, 47
+    PUTI r2, 10
+    DIVMOD r3, r4, r1, r2
+    GET r4
+    GET r3
+  )"));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].payload, 7u);
+  EXPECT_EQ(responses[1].payload, 4u);
+}
+
+TEST(RtmExtendedUnits, DivmodSameDestinationIsAnError) {
+  RtmRig rig;
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUTI r1, 9
+    PUTI r2, 2
+    DIVMOD r3, r3, r1, r2
+    SYNC
+  )"));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].type, msg::Response::Type::kError);
+  EXPECT_EQ(responses[0].code,
+            static_cast<std::uint8_t>(msg::ErrorCode::kBadRegister));
+  EXPECT_EQ(responses[1].type, msg::Response::Type::kSyncDone);
+}
+
+TEST(RtmExtendedUnits, DivmodByZeroSetsErrorFlag) {
+  RtmRig rig;
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUTI r1, 9
+    PUTI r2, 0
+    DIVMOD r3, r4, r1, r2, f2
+    GETF f2
+  )"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(bits::bit(responses[0].code, isa::flag::kError));
+}
+
+TEST(RtmExtendedUnits, CordicSineThroughPipeline) {
+  RtmRig rig;
+  isa::Program p;
+  p.emit_put(1, 0x40000000u);  // 90 degrees in BAM
+  Assembler::assemble_line("SIN r2, r1", p);
+  Assembler::assemble_line("COS r3, r1", p);
+  Assembler::assemble_line("GET r2", p);
+  Assembler::assemble_line("GET r3", p);
+  const auto responses = rig.run_program(p);
+  ASSERT_EQ(responses.size(), 2u);
+  // sin(90 deg) = 1.0 in Q1.30; cos ~ 0.
+  EXPECT_NEAR(static_cast<double>(
+                  static_cast<std::int32_t>(
+                      static_cast<std::uint32_t>(responses[0].payload))),
+              1073741824.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(
+                  static_cast<std::int32_t>(
+                      static_cast<std::uint32_t>(responses[1].payload))),
+              0.0, 8.0);
+  // The CORDIC FSM iterates one rotation per clock: >= 30 cycles elapsed.
+  EXPECT_GE(rig.sim.cycle(), 30u);
+}
+
+TEST(RtmExtendedUnits, FcmpSetsFlagsOnly) {
+  RtmRig rig;
+  isa::Program p;
+  p.emit_put(1, f2u(-2.0f));
+  p.emit_put(2, f2u(3.0f));
+  p.emit_put(3, 0xdead);  // canary: FCMP must not write data registers
+  Assembler::assemble_line("FCMP r1, r2, f1", p);
+  Assembler::assemble_line("GETF f1", p);
+  Assembler::assemble_line("GET r3", p);
+  const auto responses = rig.run_program(p);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(bits::bit(responses[0].code, isa::flag::kNegative));
+  EXPECT_EQ(responses[1].payload, 0xdeadu);
+}
+
+}  // namespace
+}  // namespace fpgafu::rtm

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "support/rtm_harness.hpp"
+
+namespace fpgafu::rtm {
+namespace {
+
+using fpgafu::testing::RtmRig;
+using isa::Assembler;
+
+TEST(RtmTrace, RecordsDispatchesAndWritebacks) {
+  RtmRig rig;
+  sim::EventTrace trace;
+  rig.rtm.set_trace(&trace);
+  rig.run_program(Assembler::assemble(R"(
+    PUT r1, #5
+    PUT r2, #6
+    ADD r3, r1, r2
+    GET r3
+  )"));
+
+  std::size_t unit_dispatches = 0, exec_dispatches = 0;
+  std::size_t hp_writebacks = 0, unit_writebacks = 0;
+  for (const auto& e : trace.entries()) {
+    if (e.signal.rfind("dispatch.unit", 0) == 0) {
+      ++unit_dispatches;
+    } else if (e.signal == "dispatch.exec") {
+      ++exec_dispatches;
+    } else if (e.signal == "writeback.hp") {
+      ++hp_writebacks;
+    } else if (e.signal.rfind("writeback.unit", 0) == 0) {
+      ++unit_writebacks;
+      EXPECT_EQ(e.value, 3u);  // the ADD's destination register
+    }
+  }
+  EXPECT_EQ(unit_dispatches, 1u);   // the ADD
+  EXPECT_EQ(exec_dispatches, 3u);   // two PUTs + the GET
+  EXPECT_EQ(hp_writebacks, 2u);     // the two PUT register writes
+  EXPECT_EQ(unit_writebacks, 1u);
+
+  // Events are in nondecreasing cycle order, and each unit dispatch
+  // precedes its writeback.
+  for (std::size_t i = 1; i < trace.entries().size(); ++i) {
+    EXPECT_LE(trace.entries()[i - 1].cycle, trace.entries()[i].cycle);
+  }
+
+  // Detach: no further events recorded.
+  rig.rtm.set_trace(nullptr);
+  const std::size_t before = trace.entries().size();
+  rig.run_program(Assembler::assemble("PUT r4, #9\nGET r4"));
+  EXPECT_EQ(trace.entries().size(), before);
+}
+
+TEST(RtmTrace, CapsAndCountsDrops) {
+  sim::EventTrace tiny(/*max_entries=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tiny.event(static_cast<std::uint64_t>(i), "sig", 0);
+  }
+  EXPECT_EQ(tiny.entries().size(), 4u);
+  EXPECT_EQ(tiny.dropped(), 6u);
+  tiny.clear();
+  EXPECT_TRUE(tiny.entries().empty());
+  EXPECT_EQ(tiny.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace fpgafu::rtm

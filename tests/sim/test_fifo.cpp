@@ -1,0 +1,101 @@
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/handshake_harness.hpp"
+
+namespace fpgafu::sim {
+namespace {
+
+using fpgafu::testing::Consumer;
+using fpgafu::testing::Producer;
+
+std::vector<int> iota_items(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+struct Rig {
+  Simulator sim;
+  HwFifo<int> fifo;
+  Producer<int> prod;
+  Consumer<int> cons;
+
+  Rig(std::size_t depth, bool forward, int items, std::uint64_t pnum = 1,
+      std::uint64_t pden = 1, std::uint64_t cnum = 1, std::uint64_t cden = 1)
+      : fifo(sim, "fifo", depth, forward),
+        prod(sim, "prod", iota_items(items), pnum, pden, 99),
+        cons(sim, "cons", cnum, cden, 17) {
+    prod.bind(fifo.in);
+    cons.bind(fifo.out);
+  }
+};
+
+TEST(HwFifo, PassesAllItemsInOrder) {
+  Rig rig(4, false, 50);
+  rig.sim.run_until([&] { return rig.cons.received().size() == 50; }, 1000);
+  EXPECT_EQ(rig.cons.received(), iota_items(50));
+}
+
+TEST(HwFifo, FullThroughputIsOneItemPerCycle) {
+  Rig rig(4, false, 100);
+  const auto cycles = rig.sim.run_until(
+      [&] { return rig.cons.received().size() == 100; }, 1000);
+  // 1/cycle steady state plus small fill latency.
+  EXPECT_LE(cycles, 105u);
+}
+
+TEST(HwFifo, SurvivesRandomStallPatterns) {
+  for (const auto& [pnum, cnum] :
+       {std::pair<std::uint64_t, std::uint64_t>{1, 3}, {2, 3}, {1, 2}}) {
+    Rig rig(2, false, 200, pnum, 3, cnum, 3);
+    rig.sim.run_until([&] { return rig.cons.received().size() == 200; },
+                      20000);
+    EXPECT_EQ(rig.cons.received(), iota_items(200));
+  }
+}
+
+TEST(HwFifo, NeverExceedsCapacity) {
+  Rig rig(3, false, 50, 1, 1, 1, 4);  // slow consumer
+  for (int i = 0; i < 1000 && rig.cons.received().size() < 50; ++i) {
+    rig.sim.step();
+    ASSERT_LE(rig.fifo.size(), 3u);
+  }
+  EXPECT_EQ(rig.cons.received().size(), 50u);
+}
+
+TEST(HwFifo, CombinationalForwardSustainsRateAtDepthOne) {
+  Rig fwd(1, true, 20);
+  const auto cycles = fwd.sim.run_until(
+      [&] { return fwd.cons.received().size() == 20; }, 200);
+  EXPECT_LE(cycles, 25u);
+  EXPECT_EQ(fwd.cons.received(), iota_items(20));
+
+  // Without forwarding a depth-1 FIFO alternates push/pop: ~2 cycles/item —
+  // exactly the thesis' "able to accept an instruction every second clock
+  // cycle" behaviour.
+  Rig plain(1, false, 20);
+  const auto cycles2 = plain.sim.run_until(
+      [&] { return plain.cons.received().size() == 20; }, 200);
+  EXPECT_GE(cycles2, 38u);
+}
+
+TEST(HwFifo, ResetClears) {
+  Rig rig(4, false, 3, 1, 1, 0, 1);  // consumer never ready
+  rig.sim.run(10);
+  EXPECT_GT(rig.fifo.size(), 0u);
+  rig.sim.reset();
+  EXPECT_EQ(rig.fifo.size(), 0u);
+}
+
+TEST(HwFifo, BackToBackSingleItem) {
+  Rig rig(4, false, 1);
+  rig.sim.run_until([&] { return rig.cons.received().size() == 1; }, 10);
+  EXPECT_EQ(rig.cons.received().front(), 0);
+}
+
+}  // namespace
+}  // namespace fpgafu::sim

@@ -1,0 +1,84 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/signal.hpp"
+
+namespace fpgafu::sim {
+namespace {
+
+/// A counter with a strobe that pulses every 4th cycle.
+class Strober : public Component {
+ public:
+  explicit Strober(Simulator& sim)
+      : Component(sim, "strober"), strobe(sim), count(sim) {}
+  Wire<bool> strobe;
+  Wire<std::uint64_t> count;
+  void eval() override {
+    strobe.set(value_ % 4 == 3);
+    count.set(value_);
+  }
+  void commit() override { ++value_; }
+  void reset() override { value_ = 0; }
+  std::uint64_t value_ = 0;
+};
+
+TEST(Vcd, HeaderDeclaresProbes) {
+  Simulator sim;
+  std::ostringstream os;
+  VcdWriter vcd(sim, os, 20);
+  Strober s(sim);
+  vcd.probe("strobe", 1, [&] { return s.strobe.get() ? 1u : 0u; });
+  vcd.probe("count", 8, [&] { return s.count.get(); });
+  sim.run(1);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 20ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! strobe $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 8 \" count $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsOnlyChanges) {
+  Simulator sim;
+  std::ostringstream os;
+  VcdWriter vcd(sim, os, 10);
+  Strober s(sim);
+  vcd.probe("strobe", 1, [&] { return s.strobe.get() ? 1u : 0u; });
+  sim.run(16);
+  // Strobe asserted during cycles 3, 7, 11, 15; deasserted at 4, 8, 12.
+  // That is 7 transitions plus the initial sample at #0.
+  EXPECT_EQ(vcd.changes_written(), 8u);
+  // Timestamps use cycle numbers.
+  EXPECT_NE(os.str().find("#0"), std::string::npos);
+  EXPECT_NE(os.str().find("1!"), std::string::npos);
+  EXPECT_NE(os.str().find("0!"), std::string::npos);
+}
+
+TEST(Vcd, VectorValuesInBinary) {
+  Simulator sim;
+  std::ostringstream os;
+  VcdWriter vcd(sim, os, 10);
+  Strober s(sim);
+  vcd.probe("count", 8, [&] { return s.count.get(); });
+  sim.run(6);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("b0 !"), std::string::npos);    // initial zero
+  EXPECT_NE(out.find("b101 !"), std::string::npos);  // count = 5
+}
+
+TEST(Vcd, LateProbeRejected) {
+  Simulator sim;
+  std::ostringstream os;
+  VcdWriter vcd(sim, os, 10);
+  Strober s(sim);
+  vcd.probe("a", 1, [] { return 0u; });
+  sim.run(1);
+  EXPECT_THROW(vcd.probe("b", 1, [] { return 0u; }), SimError);
+  EXPECT_THROW(VcdWriter(sim, os, 10).probe("w", 65, [] { return 0u; }),
+               SimError);
+}
+
+}  // namespace
+}  // namespace fpgafu::sim

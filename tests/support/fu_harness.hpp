@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "fu/ports.hpp"
+#include "sim/component.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::testing {
+
+/// Standalone testbench driver for a functional unit: plays the roles of
+/// both the dispatcher (issuing requests whenever the unit is idle) and the
+/// write arbiter (acknowledging results, optionally with a stall pattern).
+class FuDriver : public sim::Component {
+ public:
+  struct Completion {
+    fu::FuResult result;
+    std::uint64_t cycle;
+  };
+
+  FuDriver(sim::Simulator& sim, std::string name, fu::FuPorts& ports,
+           std::uint64_t ack_duty_num = 1, std::uint64_t ack_duty_den = 1,
+           std::uint64_t seed = 7)
+      : Component(sim, std::move(name)),
+        ports_(&ports),
+        ack_num_(ack_duty_num),
+        ack_den_(ack_duty_den),
+        rng_(seed) {}
+
+  void enqueue(const fu::FuRequest& req) { queue_.push_back(req); }
+
+  const std::vector<Completion>& completions() const { return completions_; }
+  const std::vector<std::uint64_t>& dispatch_cycles() const {
+    return dispatch_cycles_;
+  }
+  bool drained() const {
+    return queue_.empty() && !ports_->data_ready.get();
+  }
+
+  void eval() override {
+    if (!queue_.empty() && ports_->idle.get()) {
+      ports_->dispatch.set(true);
+      ports_->request.set(queue_.front());
+    } else {
+      ports_->dispatch.set(false);
+    }
+    ports_->data_acknowledge.set(ports_->data_ready.get() && ack_active_);
+  }
+
+  void commit() override {
+    if (ports_->dispatch.get() && ports_->idle.get()) {
+      queue_.pop_front();
+      dispatch_cycles_.push_back(simulator().cycle());
+    }
+    if (ports_->data_ready.get() && ports_->data_acknowledge.get()) {
+      completions_.push_back({ports_->result.get(), simulator().cycle()});
+    }
+    ack_active_ = rng_.chance(ack_num_, ack_den_);
+  }
+
+  void reset() override {
+    queue_.clear();
+    completions_.clear();
+    dispatch_cycles_.clear();
+    ack_active_ = true;
+  }
+
+ private:
+  fu::FuPorts* ports_;
+  std::deque<fu::FuRequest> queue_;
+  std::vector<Completion> completions_;
+  std::vector<std::uint64_t> dispatch_cycles_;
+  std::uint64_t ack_num_, ack_den_;
+  Xoshiro256 rng_;
+  bool ack_active_ = true;
+};
+
+}  // namespace fpgafu::testing

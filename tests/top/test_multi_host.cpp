@@ -1,0 +1,199 @@
+#include "host/multi_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace fpgafu::host {
+namespace {
+
+using isa::Assembler;
+
+TEST(MultiHost, TwoSessionsGetTheirOwnResponses) {
+  top::System sys({});
+  MultiHost mux(sys);
+  auto& a = mux.create_session();
+  auto& b = mux.create_session();
+
+  // Sessions partition the register file: A uses r1..r3, B uses r4..r6.
+  a.submit(Assembler::assemble(R"(
+    PUT r1, #10
+    PUT r2, #20
+    ADD r3, r1, r2
+    GET r3
+  )"));
+  b.submit(Assembler::assemble(R"(
+    PUT r4, #100
+    PUT r5, #1
+    SUB r6, r4, r5
+    GET r6
+  )"));
+
+  sim::Simulator& sim = sys.simulator();
+  std::optional<msg::Response> ra, rb;
+  sim.run_until(
+      [&] {
+        mux.pump();
+        if (!ra) ra = a.poll();
+        if (!rb) rb = b.poll();
+        return ra.has_value() && rb.has_value();
+      },
+      100000);
+  EXPECT_EQ(ra->payload, 30u);
+  EXPECT_EQ(rb->payload, 99u);
+}
+
+TEST(MultiHost, SessionCallBlocksForItsOwnResults) {
+  top::System sys({});
+  MultiHost mux(sys);
+  auto& a = mux.create_session();
+  auto& b = mux.create_session();
+
+  // B has queued work; A's call must still complete (the pump interleaves
+  // both fairly).
+  b.submit(Assembler::assemble("PUT r8, #1\nPUT r9, #2\nADD r10, r8, r9"));
+  const auto responses = a.call(Assembler::assemble(R"(
+    PUT r1, #7
+    GET r1
+  )"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].payload, 7u);
+  // Drain B as well and verify its computation happened.
+  const auto rb = b.call(Assembler::assemble("GET r10"));
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb[0].payload, 3u);
+}
+
+TEST(MultiHost, ManySessionsInterleaveWithoutCrosstalk) {
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 64;
+  top::SystemConfig cfg;
+  cfg.rtm = rcfg;
+  top::System sys(cfg);
+  MultiHost mux(sys);
+
+  constexpr int kSessions = 6;
+  std::vector<MultiHost::Session*> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(&mux.create_session());
+    // Session s owns registers 8s .. 8s+7.
+    const int base = 8 * s;
+    char src[256];
+    std::snprintf(src, sizeof src,
+                  "PUT r%d, #%d\nPUT r%d, #%d\nADD r%d, r%d, r%d\nGET r%d\n",
+                  base, 1000 + s, base + 1, s, base + 2, base, base + 1,
+                  base + 2);
+    sessions.back()->submit(isa::Assembler::assemble(src));
+  }
+
+  std::vector<std::optional<msg::Response>> got(kSessions);
+  sys.simulator().run_until(
+      [&] {
+        mux.pump();
+        bool all = true;
+        for (int s = 0; s < kSessions; ++s) {
+          if (!got[static_cast<std::size_t>(s)]) {
+            got[static_cast<std::size_t>(s)] =
+                sessions[static_cast<std::size_t>(s)]->poll();
+          }
+          all = all && got[static_cast<std::size_t>(s)].has_value();
+        }
+        return all;
+      },
+      200000);
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(got[static_cast<std::size_t>(s)]->payload,
+              static_cast<std::uint64_t>(1000 + 2 * s));
+  }
+}
+
+TEST(MultiHost, FuzzedInterleavingPreservesPerSessionStreams) {
+  // Property: whatever the interleaving, every session sees exactly its own
+  // responses, in its own issue order.  Each session owns one register and
+  // issues PUT/GET pairs with session-tagged values.
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 16;
+  top::SystemConfig cfg;
+  cfg.rtm = rcfg;
+  top::System sys(cfg);
+  host::MultiHost mux(sys);
+
+  constexpr std::size_t kSessions = 5;
+  constexpr std::size_t kPairs = 40;
+  std::vector<MultiHost::Session*> sessions;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    sessions.push_back(&mux.create_session());
+    isa::Program p;
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      const isa::Word tagged = (s << 16) | i;
+      p.emit_put(static_cast<isa::RegNum>(s + 1), tagged);
+      isa::Instruction get;
+      get.function = isa::fc::kRtm;
+      get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+      get.src1 = static_cast<isa::RegNum>(s + 1);
+      p.emit(get);
+    }
+    sessions[s]->submit(p);
+  }
+
+  std::vector<std::vector<isa::Word>> got(kSessions);
+  sys.simulator().run_until(
+      [&] {
+        mux.pump();
+        bool done = true;
+        for (std::size_t s = 0; s < kSessions; ++s) {
+          while (auto r = sessions[s]->poll()) {
+            got[s].push_back(r->payload);
+          }
+          done = done && got[s].size() == kPairs;
+        }
+        return done;
+      },
+      1'000'000);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(got[s].size(), kPairs);
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      ASSERT_EQ(got[s][i], (s << 16) | i)
+          << "session " << s << " response " << i;
+    }
+  }
+}
+
+TEST(MultiHost, ErrorResponsesRouteToTheFaultingSession) {
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 8;
+  top::SystemConfig cfg;
+  cfg.rtm = rcfg;
+  top::System sys(cfg);
+  MultiHost mux(sys);
+  auto& good = mux.create_session();
+  auto& bad = mux.create_session();
+
+  isa::Program bad_prog;
+  isa::Instruction i;
+  i.function = isa::fc::kRtm;
+  i.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  i.src1 = 200;  // out of range
+  bad_prog.emit(i);
+  bad.submit(bad_prog);
+
+  const auto responses = good.call(isa::Assembler::assemble(R"(
+    PUT r1, #5
+    GET r1
+  )"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].type, msg::Response::Type::kData);
+
+  std::optional<msg::Response> err;
+  sys.simulator().run_until(
+      [&] {
+        mux.pump();
+        if (!err) err = bad.poll();
+        return err.has_value();
+      },
+      100000);
+  EXPECT_EQ(err->type, msg::Response::Type::kError);
+}
+
+}  // namespace
+}  // namespace fpgafu::host

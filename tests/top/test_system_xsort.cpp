@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "host/xsort_system_engine.hpp"
+#include "util/rng.hpp"
+#include "xsort/algorithm.hpp"
+#include "xsort/baseline.hpp"
+
+namespace fpgafu::host {
+namespace {
+
+top::SystemConfig xsort_system(std::size_t cells) {
+  top::SystemConfig cfg;
+  cfg.with_xsort = true;
+  cfg.xsort.cells = cells;
+  cfg.xsort.interval_bits = 16;
+  return cfg;
+}
+
+TEST(SystemXsort, SortsThroughTheFullSystemPath) {
+  top::System sys(xsort_system(16));
+  SystemXsortEngine eng(sys);
+  xsort::XsortAlgorithm algo(eng);
+  Xoshiro256 rng(8);
+  std::vector<std::uint64_t> vals(16);
+  for (auto& v : vals) {
+    v = rng.below(1000);
+  }
+  const auto sorted = algo.sort(vals);
+  auto expect = vals;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted, expect);
+}
+
+TEST(SystemXsort, SelectThroughTheFullSystemPath) {
+  top::System sys(xsort_system(32));
+  SystemXsortEngine eng(sys);
+  xsort::XsortAlgorithm algo(eng);
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> vals(32);
+  for (auto& v : vals) {
+    v = rng.below(100);
+  }
+  algo.load(vals);
+  EXPECT_EQ(algo.select(16), xsort::cpu_select(vals, 16));
+}
+
+TEST(SystemXsort, RequiresXsortEnabledSystem) {
+  top::System sys({});
+  EXPECT_THROW(SystemXsortEngine eng(sys), SimError);
+}
+
+TEST(SystemXsort, PerOpCostIsFlatInN) {
+  // Even through the full interface path, per-op cycles are independent of
+  // the array size (the interface cost is constant; the cell work is
+  // parallel).
+  auto cycles_per_op = [](std::size_t n) {
+    top::System sys(xsort_system(n));
+    SystemXsortEngine eng(sys);
+    eng.op(xsort::XsortOp::kReset, n - 1);
+    eng.reset_cost();
+    for (int i = 0; i < 8; ++i) {
+      eng.op(xsort::XsortOp::kCount);
+    }
+    return eng.cost_cycles() / 8;
+  };
+  EXPECT_EQ(cycles_per_op(8), cycles_per_op(512));
+}
+
+}  // namespace
+}  // namespace fpgafu::host

@@ -1,0 +1,76 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fpgafu {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  rb.push(4);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsManyTimes) {
+  RingBuffer<int> rb(2);
+  for (int i = 0; i < 100; ++i) {
+    rb.push(i);
+    EXPECT_EQ(rb.front(), i);
+    EXPECT_EQ(rb.pop(), i);
+  }
+}
+
+TEST(RingBuffer, RandomAccessAt) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(11);
+  rb.push(12);
+  EXPECT_EQ(rb.at(0), 10);
+  EXPECT_EQ(rb.at(1), 11);
+  EXPECT_EQ(rb.at(2), 12);
+  EXPECT_THROW(rb.at(3), SimError);
+}
+
+TEST(RingBuffer, OverflowUnderflowThrow) {
+  RingBuffer<int> rb(1);
+  EXPECT_THROW(rb.pop(), SimError);
+  EXPECT_THROW(rb.front(), SimError);
+  rb.push(1);
+  EXPECT_THROW(rb.push(2), SimError);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), SimError);
+}
+
+TEST(RingBuffer, MoveOnlyFriendly) {
+  RingBuffer<std::string> rb(2);
+  rb.push("hello");
+  rb.push("world");
+  EXPECT_EQ(rb.pop(), "hello");
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+}
+
+}  // namespace
+}  // namespace fpgafu

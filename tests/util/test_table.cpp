@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fpgafu {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"op", "cycles"});
+  t.add_row({"ADD", "1"});
+  t.add_row({"CMPB", "12"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("op    cycles"), std::string::npos);
+  EXPECT_NE(out.find("ADD   1"), std::string::npos);
+  EXPECT_NE(out.find("CMPB  12"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), SimError);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), SimError);
+}
+
+TEST(FormatHelpers, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatHelpers, Bits) {
+  EXPECT_EQ(format_bits(0b1010, 4), "1010");
+  EXPECT_EQ(format_bits(1, 3), "001");
+  EXPECT_EQ(format_bits(0xff, 8), "11111111");
+}
+
+}  // namespace
+}  // namespace fpgafu

@@ -1,0 +1,217 @@
+#include "xsort/cell_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::xsort {
+namespace {
+
+CellCmd cmd_load() { return {.load = true}; }
+CellCmd cmd_select_all() { return {.select_all = true}; }
+
+TEST(CellArray, ShiftLoadMovesDataToFollowingCell) {
+  CellArray cells({.cells = 4});
+  cells.apply(cmd_load(), 10);
+  cells.apply(cmd_load(), 11);
+  cells.apply(cmd_load(), 12);
+  EXPECT_EQ(cells.data(0), 12u);
+  EXPECT_EQ(cells.data(1), 11u);
+  EXPECT_EQ(cells.data(2), 10u);
+  EXPECT_EQ(cells.data(3), 0u);
+}
+
+TEST(CellArray, DataMaskApplied) {
+  CellArray cells({.cells = 2, .data_bits = 8});
+  cells.apply(cmd_load(), 0x1ff);
+  EXPECT_EQ(cells.data(0), 0xffu);
+}
+
+TEST(CellArray, SelectAllAndMatches) {
+  CellArray cells({.cells = 4});
+  for (const std::uint64_t v : {30u, 20u, 10u, 20u}) {
+    cells.apply(cmd_load(), v);
+  }
+  // Data layout after loads: cell0=20, cell1=10, cell2=20, cell3=30.
+  cells.apply(cmd_select_all(), 0);
+  EXPECT_EQ(cells.count_selected(), 4u);
+  cells.apply({.match_data_eq = true}, 20);
+  EXPECT_EQ(cells.count_selected(), 2u);
+  EXPECT_TRUE(cells.selected(0));
+  EXPECT_FALSE(cells.selected(1));
+  EXPECT_TRUE(cells.selected(2));
+  EXPECT_FALSE(cells.selected(3));
+
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_lt = true}, 20);
+  EXPECT_EQ(cells.count_selected(), 1u);
+  EXPECT_TRUE(cells.selected(1));
+
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_gt = true}, 20);
+  EXPECT_EQ(cells.count_selected(), 1u);
+  EXPECT_TRUE(cells.selected(3));
+}
+
+TEST(CellArray, MatchesNarrowNotWiden) {
+  // A match command ANDs into the current selection (the schematic gates
+  // the comparator output with the existing flag).
+  CellArray cells({.cells = 3});
+  cells.apply(cmd_load(), 5);
+  cells.apply(cmd_load(), 5);
+  cells.apply(cmd_load(), 5);
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_eq = true}, 5);
+  EXPECT_EQ(cells.count_selected(), 3u);
+  // Deselect everything via an impossible bound match, then try to match
+  // data again: nothing may come back.
+  cells.apply({.match_lower = true}, 7);  // bounds are 0 -> nothing matches
+  EXPECT_EQ(cells.count_selected(), 0u);
+  cells.apply({.match_data_eq = true}, 5);
+  EXPECT_EQ(cells.count_selected(), 0u);
+}
+
+TEST(CellArray, BoundSetsAreGatedBySelection) {
+  CellArray cells({.cells = 4});
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_lower = true}, 0);  // all: lower == 0
+  // Select only cells with data == 0 (all), then deselect two via bounds.
+  cells.apply({.set_upper = true}, 9);    // all cells: upper <- 9
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_upper = true}, 9);
+  EXPECT_EQ(cells.count_selected(), 4u);
+
+  // Narrow selection to cell pattern, then set bounds only there.
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_eq = true}, 0);  // still all (data are zero)
+  cells.apply({.set_lower = true}, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cells.lower(i), 3u);
+  }
+}
+
+TEST(CellArray, SaveRestoreRoundTrip) {
+  CellArray cells({.cells = 4});
+  for (const std::uint64_t v : {1u, 2u, 3u, 4u}) {
+    cells.apply(cmd_load(), v);
+  }
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_lt = true}, 3);  // selects data 1 and 2
+  EXPECT_EQ(cells.count_selected(), 2u);
+  cells.apply({.save = true}, 0);
+  cells.apply(cmd_select_all(), 0);
+  EXPECT_EQ(cells.count_selected(), 4u);
+  cells.apply({.restore = true}, 0);
+  EXPECT_EQ(cells.count_selected(), 2u);
+}
+
+TEST(CellArray, SelectImpreciseTracksIntervals) {
+  CellArray cells({.cells = 4, .interval_bits = 8});
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.set_lower = true}, 0);
+  cells.apply({.set_upper = true}, 3);
+  cells.apply({.select_imprecise = true}, 0);
+  EXPECT_EQ(cells.count_selected(), 4u);
+  EXPECT_EQ(cells.count_imprecise(), 4u);
+  // Make two cells precise.
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_eq = true}, 0);  // all cells
+  cells.apply({.rank_selected = true}, 0);  // ranks 0..3, all precise
+  EXPECT_EQ(cells.count_imprecise(), 0u);
+  cells.apply({.select_imprecise = true}, 0);
+  EXPECT_EQ(cells.count_selected(), 0u);
+}
+
+TEST(CellArray, RankSelectedHandsOutConsecutiveRanks) {
+  CellArray cells({.cells = 5});
+  for (const std::uint64_t v : {9u, 9u, 1u, 9u, 9u}) {
+    cells.apply(cmd_load(), v);
+  }
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_eq = true}, 9);
+  EXPECT_EQ(cells.count_selected(), 4u);
+  cells.apply({.rank_selected = true}, 10);
+  std::vector<std::uint64_t> ranks;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (cells.selected(i)) {
+      EXPECT_EQ(cells.lower(i), cells.upper(i));
+      ranks.push_back(cells.lower(i));
+    }
+  }
+  EXPECT_EQ(ranks, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+}
+
+TEST(CellArray, TreeQueriesFindLeftmost) {
+  CellArray cells({.cells = 8});
+  for (int i = 0; i < 8; ++i) {
+    cells.apply(cmd_load(), static_cast<std::uint64_t>(100 - i));
+  }
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_gt = true}, 95);
+  // Data layout: cell0=93 ... cell7=100; >95 selects cells 3..7.
+  const Leftmost first = cells.first_selected();
+  ASSERT_TRUE(first.valid);
+  EXPECT_EQ(first.index, 3u);
+  EXPECT_EQ(first.data, 96u);
+
+  // first_imprecise: make cells 5.. imprecise.
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_gt = true}, 97);  // cells 5..7
+  cells.apply({.set_upper = true}, 7);
+  const Leftmost imp = cells.first_imprecise();
+  ASSERT_TRUE(imp.valid);
+  EXPECT_EQ(imp.index, 5u);
+  EXPECT_EQ(imp.upper, 7u);
+}
+
+TEST(CellArray, LoadSelectedWritesOnlySelectedCells) {
+  CellArray cells({.cells = 4});
+  for (const std::uint64_t v : {1u, 2u, 3u, 4u}) {
+    cells.apply(cmd_load(), v);
+  }
+  cells.apply(cmd_select_all(), 0);
+  cells.apply({.match_data_eq = true}, 2);
+  cells.apply({.load_selected = true}, 99);
+  EXPECT_EQ(cells.data(0), 4u);
+  EXPECT_EQ(cells.data(1), 3u);
+  EXPECT_EQ(cells.data(2), 99u);
+  EXPECT_EQ(cells.data(3), 1u);
+}
+
+TEST(CellArray, GeometryValidation) {
+  EXPECT_THROW(CellArray({.cells = 0}), SimError);
+  EXPECT_THROW(CellArray({.cells = 8, .data_bits = 0}), SimError);
+  EXPECT_THROW(CellArray({.cells = 8, .interval_bits = 40}), SimError);
+  // 2 interval bits cannot index 8 cells.
+  EXPECT_THROW(CellArray({.cells = 8, .interval_bits = 2}), SimError);
+  // ... but can index 4.
+  CellArray ok({.cells = 4, .interval_bits = 2});
+  EXPECT_EQ(ok.size(), 4u);
+}
+
+TEST(TreeFold, DepthIsLogarithmic) {
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 9u, 64u, 1000u}) {
+    CellArray cells({.cells = n, .interval_bits = 16});
+    const unsigned depth = cells.tree_depth();
+    EXPECT_EQ(depth, bits::clog2(n)) << "n=" << n;
+  }
+}
+
+TEST(TreeFold, CountMatchesNaiveSum) {
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> leaves;
+  for (int i = 0; i < 1000; ++i) {
+    leaves.push_back(rng.below(2));
+  }
+  std::uint64_t naive = 0;
+  for (const auto v : leaves) {
+    naive += v;
+  }
+  const auto tree = tree_fold<std::uint64_t>(
+      leaves, 0, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(tree, naive);
+}
+
+}  // namespace
+}  // namespace fpgafu::xsort

@@ -1,0 +1,162 @@
+#include "xsort/unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fu/conformance.hpp"
+#include "support/fu_harness.hpp"
+#include "util/rng.hpp"
+#include "xsort/hw_engine.hpp"
+
+namespace fpgafu::xsort {
+namespace {
+
+using fpgafu::testing::FuDriver;
+
+fu::FuRequest xreq(XsortOp op, std::uint64_t operand, isa::RegNum dst = 1) {
+  fu::FuRequest r;
+  r.variety = static_cast<isa::VarietyCode>(op);
+  r.operand1 = operand;
+  r.dst_reg = dst;
+  return r;
+}
+
+TEST(XsortUnit, SpeaksTheFuProtocol) {
+  sim::Simulator sim;
+  XsortUnit unit(sim, "xs", {.cells = 8});
+  FuDriver drv(sim, "drv", unit.ports);
+  fu::ConformanceMonitor mon(sim, "mon", unit.ports);
+  drv.enqueue(xreq(XsortOp::kReset, 7));
+  drv.enqueue(xreq(XsortOp::kLoad, 42));
+  drv.enqueue(xreq(XsortOp::kCount, 0));
+  sim.run_until([&] { return drv.completions().size() == 3; }, 500);
+  mon.check_drained();
+  EXPECT_TRUE(mon.violations().empty()) << mon.violations().front();
+}
+
+TEST(XsortUnit, UndefinedVarietySetsErrorFlag) {
+  sim::Simulator sim;
+  XsortUnit unit(sim, "xs", {.cells = 8});
+  FuDriver drv(sim, "drv", unit.ports);
+  fu::FuRequest bad;
+  bad.variety = 0x7e;  // not a defined xsort op
+  drv.enqueue(bad);
+  sim.run_until([&] { return drv.completions().size() == 1; }, 100);
+  const auto flags = drv.completions().front().result.flags;
+  EXPECT_TRUE((flags & (isa::FlagWord{1} << isa::flag::kError)) != 0);
+}
+
+TEST(XsortUnit, OperationCyclesAreFixedRegardlessOfArraySize) {
+  // The paper's claim: each operation takes a fixed number of clock cycles
+  // with the FPGA.  Measure dispatch-to-completion for several ops at
+  // n = 8 and n = 1024 — they must be identical.
+  auto cycles_for = [](std::size_t cells, XsortOp op, std::uint64_t operand) {
+    sim::Simulator sim;
+    XsortUnit unit(sim, "xs", {.cells = cells});
+    FuDriver drv(sim, "drv", unit.ports);
+    drv.enqueue(xreq(XsortOp::kReset, cells - 1));
+    drv.enqueue(xreq(op, operand));
+    sim.run_until([&] { return drv.completions().size() == 2; }, 1000);
+    return drv.completions()[1].cycle - drv.completions()[0].cycle;
+  };
+  for (const XsortOp op : {XsortOp::kLoad, XsortOp::kCount,
+                           XsortOp::kMatchLt, XsortOp::kPivotData,
+                           XsortOp::kReadRank, XsortOp::kRankSelected}) {
+    const auto small = cycles_for(8, op, 3);
+    const auto large = cycles_for(1024, op, 3);
+    EXPECT_EQ(small, large) << to_string(op);
+  }
+}
+
+TEST(XsortUnit, MicroprogramLengthSetsLatency) {
+  // dispatch (1) + microprogram length + output handoff (1).
+  sim::Simulator sim;
+  XsortUnit unit(sim, "xs", {.cells = 8});
+  FuDriver drv(sim, "drv", unit.ports);
+  drv.enqueue(xreq(XsortOp::kLoad, 5));      // 1 uop
+  drv.enqueue(xreq(XsortOp::kReadRank, 0));  // 3 uops
+  sim.run_until([&] { return drv.completions().size() == 2; }, 200);
+  const auto d = drv.dispatch_cycles();
+  const auto& c = drv.completions();
+  EXPECT_EQ(c[0].cycle - d[0], 1u + unit.rom().length(XsortOp::kLoad));
+  EXPECT_EQ(c[1].cycle - d[1], 1u + unit.rom().length(XsortOp::kReadRank));
+}
+
+TEST(HwXsortEngine, CommandsReturnSelectedCount) {
+  HwXsortEngine eng({.cells = 4});
+  eng.op(XsortOp::kReset, 3);
+  eng.op(XsortOp::kLoad, 10);
+  eng.op(XsortOp::kLoad, 20);
+  eng.op(XsortOp::kLoad, 30);
+  eng.op(XsortOp::kLoad, 40);
+  EXPECT_EQ(eng.op(XsortOp::kSelectAll), 4u);
+  EXPECT_EQ(eng.op(XsortOp::kMatchLt, 25), 2u);
+  EXPECT_EQ(eng.op(XsortOp::kCount), 2u);
+  EXPECT_EQ(eng.op(XsortOp::kCountImprecise), 4u);
+}
+
+TEST(HwXsortEngine, PivotQueries) {
+  HwXsortEngine eng({.cells = 4});
+  eng.op(XsortOp::kReset, 3);
+  for (const std::uint64_t v : {7u, 5u, 9u, 5u}) {
+    eng.op(XsortOp::kLoad, v);
+  }
+  // All cells imprecise <0,3>; leftmost imprecise is cell 0 (data 5 after
+  // reversal-free loads: last loaded value sits in cell 0).
+  EXPECT_EQ(eng.op(XsortOp::kPivotData), 5u);
+  EXPECT_EQ(eng.op(XsortOp::kPivotLower), 0u);
+  EXPECT_EQ(eng.op(XsortOp::kPivotUpper), 3u);
+}
+
+TEST(XsortUnit, PipelinedTreeAddsLogNToQueryLatency) {
+  // DESIGN.md §6 ablation: a registered tree costs ceil(log2 n) extra
+  // cycles per query microinstruction; command microinstructions are
+  // unaffected.
+  auto cycles_for = [](std::size_t cells, bool pipelined, XsortOp op) {
+    sim::Simulator sim;
+    XsortUnit unit(sim, "xs",
+                   {.cells = cells, .pipelined_tree = pipelined});
+    FuDriver drv(sim, "drv", unit.ports);
+    drv.enqueue(xreq(op, 3));
+    sim.run_until([&] { return drv.completions().size() == 1; }, 1000);
+    return drv.completions()[0].cycle - drv.dispatch_cycles()[0];
+  };
+  // Query op: +log2(256) = +8 cycles.
+  EXPECT_EQ(cycles_for(256, true, XsortOp::kCount),
+            cycles_for(256, false, XsortOp::kCount) + 8);
+  // Command op: unchanged.
+  EXPECT_EQ(cycles_for(256, true, XsortOp::kSelectAll),
+            cycles_for(256, false, XsortOp::kSelectAll));
+}
+
+TEST(XsortUnit, PipelinedTreeResultsIdentical) {
+  HwXsortEngine combinational({.cells = 32});
+  HwXsortEngine pipelined({.cells = 32, .pipelined_tree = true});
+  Xoshiro256 rng(5);
+  auto both = [&](XsortOp op, std::uint64_t operand) {
+    ASSERT_EQ(combinational.op(op, operand), pipelined.op(op, operand))
+        << to_string(op);
+  };
+  both(XsortOp::kReset, 31);
+  for (int i = 0; i < 32; ++i) {
+    both(XsortOp::kLoad, rng.below(100));
+  }
+  both(XsortOp::kSelectAll, 0);
+  both(XsortOp::kCount, 0);
+  both(XsortOp::kMatchLt, 50);
+  both(XsortOp::kPivotData, 0);
+  both(XsortOp::kReadRank, 0);
+}
+
+TEST(HwXsortEngine, CostCyclesAdvanceWithOps) {
+  HwXsortEngine eng({.cells = 16});
+  eng.reset_cost();
+  eng.op(XsortOp::kReset, 15);
+  const auto after_reset = eng.cost_cycles();
+  EXPECT_GT(after_reset, 0u);
+  eng.op(XsortOp::kLoad, 1);
+  EXPECT_GT(eng.cost_cycles(), after_reset);
+  EXPECT_EQ(eng.ops_issued(), 2u);
+}
+
+}  // namespace
+}  // namespace fpgafu::xsort
