@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fu_protocols.dir/bench_fu_protocols.cpp.o"
+  "CMakeFiles/bench_fu_protocols.dir/bench_fu_protocols.cpp.o.d"
+  "bench_fu_protocols"
+  "bench_fu_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fu_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

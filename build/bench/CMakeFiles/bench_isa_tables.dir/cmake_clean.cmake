@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isa_tables.dir/bench_isa_tables.cpp.o"
+  "CMakeFiles/bench_isa_tables.dir/bench_isa_tables.cpp.o.d"
+  "bench_isa_tables"
+  "bench_isa_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isa_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

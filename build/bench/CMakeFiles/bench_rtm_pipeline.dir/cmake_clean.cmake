@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtm_pipeline.dir/bench_rtm_pipeline.cpp.o"
+  "CMakeFiles/bench_rtm_pipeline.dir/bench_rtm_pipeline.cpp.o.d"
+  "bench_rtm_pipeline"
+  "bench_rtm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

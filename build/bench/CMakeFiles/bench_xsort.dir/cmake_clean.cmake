@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xsort.dir/bench_xsort.cpp.o"
+  "CMakeFiles/bench_xsort.dir/bench_xsort.cpp.o.d"
+  "bench_xsort"
+  "bench_xsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

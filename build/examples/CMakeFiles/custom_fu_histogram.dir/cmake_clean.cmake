@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fu_histogram.dir/custom_fu_histogram.cpp.o"
+  "CMakeFiles/custom_fu_histogram.dir/custom_fu_histogram.cpp.o.d"
+  "custom_fu_histogram"
+  "custom_fu_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fu_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dds_waveform.dir/dds_waveform.cpp.o"
+  "CMakeFiles/dds_waveform.dir/dds_waveform.cpp.o.d"
+  "dds_waveform"
+  "dds_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dds_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

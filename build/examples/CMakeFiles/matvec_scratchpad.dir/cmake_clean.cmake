@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matvec_scratchpad.dir/matvec_scratchpad.cpp.o"
+  "CMakeFiles/matvec_scratchpad.dir/matvec_scratchpad.cpp.o.d"
+  "matvec_scratchpad"
+  "matvec_scratchpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matvec_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

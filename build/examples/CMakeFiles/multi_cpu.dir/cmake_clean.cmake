@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cpu.dir/multi_cpu.cpp.o"
+  "CMakeFiles/multi_cpu.dir/multi_cpu.cpp.o.d"
+  "multi_cpu"
+  "multi_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprecision.dir/multiprecision.cpp.o"
+  "CMakeFiles/multiprecision.dir/multiprecision.cpp.o.d"
+  "multiprecision"
+  "multiprecision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprecision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

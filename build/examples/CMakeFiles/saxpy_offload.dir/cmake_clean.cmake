@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saxpy_offload.dir/saxpy_offload.cpp.o"
+  "CMakeFiles/saxpy_offload.dir/saxpy_offload.cpp.o.d"
+  "saxpy_offload"
+  "saxpy_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saxpy_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

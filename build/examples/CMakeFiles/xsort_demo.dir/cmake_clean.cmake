@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsort_demo.dir/xsort_demo.cpp.o"
+  "CMakeFiles/xsort_demo.dir/xsort_demo.cpp.o.d"
+  "xsort_demo"
+  "xsort_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsort_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_area.dir/area_model.cpp.o"
+  "CMakeFiles/fpgafu_area.dir/area_model.cpp.o.d"
+  "libfpgafu_area.a"
+  "libfpgafu_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

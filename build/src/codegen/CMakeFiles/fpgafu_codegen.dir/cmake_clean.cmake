@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_codegen.dir/vhdl.cpp.o"
+  "CMakeFiles/fpgafu_codegen.dir/vhdl.cpp.o.d"
+  "libfpgafu_codegen.a"
+  "libfpgafu_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

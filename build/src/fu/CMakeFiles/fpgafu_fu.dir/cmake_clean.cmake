@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_fu.dir/conformance.cpp.o"
+  "CMakeFiles/fpgafu_fu.dir/conformance.cpp.o.d"
+  "CMakeFiles/fpgafu_fu.dir/stateless_units.cpp.o"
+  "CMakeFiles/fpgafu_fu.dir/stateless_units.cpp.o.d"
+  "libfpgafu_fu.a"
+  "libfpgafu_fu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_fu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

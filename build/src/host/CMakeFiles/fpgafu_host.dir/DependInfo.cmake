@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/coprocessor.cpp" "src/host/CMakeFiles/fpgafu_host.dir/coprocessor.cpp.o" "gcc" "src/host/CMakeFiles/fpgafu_host.dir/coprocessor.cpp.o.d"
+  "/root/repo/src/host/expr.cpp" "src/host/CMakeFiles/fpgafu_host.dir/expr.cpp.o" "gcc" "src/host/CMakeFiles/fpgafu_host.dir/expr.cpp.o.d"
+  "/root/repo/src/host/multi_host.cpp" "src/host/CMakeFiles/fpgafu_host.dir/multi_host.cpp.o" "gcc" "src/host/CMakeFiles/fpgafu_host.dir/multi_host.cpp.o.d"
+  "/root/repo/src/host/reference_model.cpp" "src/host/CMakeFiles/fpgafu_host.dir/reference_model.cpp.o" "gcc" "src/host/CMakeFiles/fpgafu_host.dir/reference_model.cpp.o.d"
+  "/root/repo/src/host/xsort_system_engine.cpp" "src/host/CMakeFiles/fpgafu_host.dir/xsort_system_engine.cpp.o" "gcc" "src/host/CMakeFiles/fpgafu_host.dir/xsort_system_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/fpgafu_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fpgafu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsort/CMakeFiles/fpgafu_xsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/fu/CMakeFiles/fpgafu_fu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fpgafu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgafu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_host.dir/coprocessor.cpp.o"
+  "CMakeFiles/fpgafu_host.dir/coprocessor.cpp.o.d"
+  "CMakeFiles/fpgafu_host.dir/expr.cpp.o"
+  "CMakeFiles/fpgafu_host.dir/expr.cpp.o.d"
+  "CMakeFiles/fpgafu_host.dir/multi_host.cpp.o"
+  "CMakeFiles/fpgafu_host.dir/multi_host.cpp.o.d"
+  "CMakeFiles/fpgafu_host.dir/reference_model.cpp.o"
+  "CMakeFiles/fpgafu_host.dir/reference_model.cpp.o.d"
+  "CMakeFiles/fpgafu_host.dir/xsort_system_engine.cpp.o"
+  "CMakeFiles/fpgafu_host.dir/xsort_system_engine.cpp.o.d"
+  "libfpgafu_host.a"
+  "libfpgafu_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arith.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/arith.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/arith.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/fp32.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/fp32.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/fp32.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/logic.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/logic.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/logic.cpp.o.d"
+  "/root/repo/src/isa/muldiv.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/muldiv.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/muldiv.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/program.cpp.o.d"
+  "/root/repo/src/isa/shift.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/shift.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/shift.cpp.o.d"
+  "/root/repo/src/isa/trig.cpp" "src/isa/CMakeFiles/fpgafu_isa.dir/trig.cpp.o" "gcc" "src/isa/CMakeFiles/fpgafu_isa.dir/trig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fpgafu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

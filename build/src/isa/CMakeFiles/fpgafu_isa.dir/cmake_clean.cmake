@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_isa.dir/arith.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/arith.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/assembler.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/fp32.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/fp32.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/instruction.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/logic.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/logic.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/muldiv.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/muldiv.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/program.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/program.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/shift.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/shift.cpp.o.d"
+  "CMakeFiles/fpgafu_isa.dir/trig.cpp.o"
+  "CMakeFiles/fpgafu_isa.dir/trig.cpp.o.d"
+  "libfpgafu_isa.a"
+  "libfpgafu_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpgafu_isa.a"
+)

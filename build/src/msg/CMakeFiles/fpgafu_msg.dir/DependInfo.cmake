@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/link.cpp" "src/msg/CMakeFiles/fpgafu_msg.dir/link.cpp.o" "gcc" "src/msg/CMakeFiles/fpgafu_msg.dir/link.cpp.o.d"
+  "/root/repo/src/msg/message_buffer.cpp" "src/msg/CMakeFiles/fpgafu_msg.dir/message_buffer.cpp.o" "gcc" "src/msg/CMakeFiles/fpgafu_msg.dir/message_buffer.cpp.o.d"
+  "/root/repo/src/msg/message_serializer.cpp" "src/msg/CMakeFiles/fpgafu_msg.dir/message_serializer.cpp.o" "gcc" "src/msg/CMakeFiles/fpgafu_msg.dir/message_serializer.cpp.o.d"
+  "/root/repo/src/msg/response.cpp" "src/msg/CMakeFiles/fpgafu_msg.dir/response.cpp.o" "gcc" "src/msg/CMakeFiles/fpgafu_msg.dir/response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fpgafu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fpgafu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgafu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

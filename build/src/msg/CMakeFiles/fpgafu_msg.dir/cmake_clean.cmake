@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_msg.dir/link.cpp.o"
+  "CMakeFiles/fpgafu_msg.dir/link.cpp.o.d"
+  "CMakeFiles/fpgafu_msg.dir/message_buffer.cpp.o"
+  "CMakeFiles/fpgafu_msg.dir/message_buffer.cpp.o.d"
+  "CMakeFiles/fpgafu_msg.dir/message_serializer.cpp.o"
+  "CMakeFiles/fpgafu_msg.dir/message_serializer.cpp.o.d"
+  "CMakeFiles/fpgafu_msg.dir/response.cpp.o"
+  "CMakeFiles/fpgafu_msg.dir/response.cpp.o.d"
+  "libfpgafu_msg.a"
+  "libfpgafu_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fpgafu_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fpgafu_sim.dir/trace.cpp.o"
+  "CMakeFiles/fpgafu_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/fpgafu_sim.dir/vcd.cpp.o"
+  "CMakeFiles/fpgafu_sim.dir/vcd.cpp.o.d"
+  "libfpgafu_sim.a"
+  "libfpgafu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_util.dir/table.cpp.o"
+  "CMakeFiles/fpgafu_util.dir/table.cpp.o.d"
+  "libfpgafu_util.a"
+  "libfpgafu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsort/algorithm.cpp" "src/xsort/CMakeFiles/fpgafu_xsort.dir/algorithm.cpp.o" "gcc" "src/xsort/CMakeFiles/fpgafu_xsort.dir/algorithm.cpp.o.d"
+  "/root/repo/src/xsort/baseline.cpp" "src/xsort/CMakeFiles/fpgafu_xsort.dir/baseline.cpp.o" "gcc" "src/xsort/CMakeFiles/fpgafu_xsort.dir/baseline.cpp.o.d"
+  "/root/repo/src/xsort/cell_array.cpp" "src/xsort/CMakeFiles/fpgafu_xsort.dir/cell_array.cpp.o" "gcc" "src/xsort/CMakeFiles/fpgafu_xsort.dir/cell_array.cpp.o.d"
+  "/root/repo/src/xsort/hw_engine.cpp" "src/xsort/CMakeFiles/fpgafu_xsort.dir/hw_engine.cpp.o" "gcc" "src/xsort/CMakeFiles/fpgafu_xsort.dir/hw_engine.cpp.o.d"
+  "/root/repo/src/xsort/microcode.cpp" "src/xsort/CMakeFiles/fpgafu_xsort.dir/microcode.cpp.o" "gcc" "src/xsort/CMakeFiles/fpgafu_xsort.dir/microcode.cpp.o.d"
+  "/root/repo/src/xsort/soft_engine.cpp" "src/xsort/CMakeFiles/fpgafu_xsort.dir/soft_engine.cpp.o" "gcc" "src/xsort/CMakeFiles/fpgafu_xsort.dir/soft_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fu/CMakeFiles/fpgafu_fu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fpgafu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fpgafu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fpgafu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

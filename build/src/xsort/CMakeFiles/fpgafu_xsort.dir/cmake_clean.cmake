@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgafu_xsort.dir/algorithm.cpp.o"
+  "CMakeFiles/fpgafu_xsort.dir/algorithm.cpp.o.d"
+  "CMakeFiles/fpgafu_xsort.dir/baseline.cpp.o"
+  "CMakeFiles/fpgafu_xsort.dir/baseline.cpp.o.d"
+  "CMakeFiles/fpgafu_xsort.dir/cell_array.cpp.o"
+  "CMakeFiles/fpgafu_xsort.dir/cell_array.cpp.o.d"
+  "CMakeFiles/fpgafu_xsort.dir/hw_engine.cpp.o"
+  "CMakeFiles/fpgafu_xsort.dir/hw_engine.cpp.o.d"
+  "CMakeFiles/fpgafu_xsort.dir/microcode.cpp.o"
+  "CMakeFiles/fpgafu_xsort.dir/microcode.cpp.o.d"
+  "CMakeFiles/fpgafu_xsort.dir/soft_engine.cpp.o"
+  "CMakeFiles/fpgafu_xsort.dir/soft_engine.cpp.o.d"
+  "libfpgafu_xsort.a"
+  "libfpgafu_xsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgafu_xsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fu.dir/fu/test_conformance_monitor.cpp.o"
+  "CMakeFiles/test_fu.dir/fu/test_conformance_monitor.cpp.o.d"
+  "CMakeFiles/test_fu.dir/fu/test_scratchpad_unit.cpp.o"
+  "CMakeFiles/test_fu.dir/fu/test_scratchpad_unit.cpp.o.d"
+  "CMakeFiles/test_fu.dir/fu/test_skeletons.cpp.o"
+  "CMakeFiles/test_fu.dir/fu/test_skeletons.cpp.o.d"
+  "CMakeFiles/test_fu.dir/fu/test_stateful_units.cpp.o"
+  "CMakeFiles/test_fu.dir/fu/test_stateful_units.cpp.o.d"
+  "CMakeFiles/test_fu.dir/fu/test_stateless_units.cpp.o"
+  "CMakeFiles/test_fu.dir/fu/test_stateless_units.cpp.o.d"
+  "test_fu"
+  "test_fu.pdb"
+  "test_fu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_expr.dir/host/test_coprocessor.cpp.o"
+  "CMakeFiles/test_host_expr.dir/host/test_coprocessor.cpp.o.d"
+  "CMakeFiles/test_host_expr.dir/host/test_expr.cpp.o"
+  "CMakeFiles/test_host_expr.dir/host/test_expr.cpp.o.d"
+  "test_host_expr"
+  "test_host_expr.pdb"
+  "test_host_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_arith_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_arith_semantics.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_assembler.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_assembler.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_fp32_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_fp32_semantics.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_instruction.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_instruction.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_logic_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_logic_semantics.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_muldiv_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_muldiv_semantics.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_shift_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_shift_semantics.cpp.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_trig_semantics.cpp.o"
+  "CMakeFiles/test_isa.dir/isa/test_trig_semantics.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

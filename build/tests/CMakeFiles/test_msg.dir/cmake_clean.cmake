@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg.dir/msg/test_buffer_serializer.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_buffer_serializer.cpp.o.d"
+  "CMakeFiles/test_msg.dir/msg/test_link.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_link.cpp.o.d"
+  "CMakeFiles/test_msg.dir/msg/test_response.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_response.cpp.o.d"
+  "test_msg"
+  "test_msg.pdb"
+  "test_msg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

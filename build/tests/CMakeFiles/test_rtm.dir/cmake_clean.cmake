@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_burst.cpp.o"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_burst.cpp.o.d"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_differential.cpp.o"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_differential.cpp.o.d"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_extended_units.cpp.o"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_extended_units.cpp.o.d"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_pipeline.cpp.o"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_pipeline.cpp.o.d"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_trace.cpp.o"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_trace.cpp.o.d"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_units.cpp.o"
+  "CMakeFiles/test_rtm.dir/rtm/test_rtm_units.cpp.o.d"
+  "test_rtm"
+  "test_rtm.pdb"
+  "test_rtm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

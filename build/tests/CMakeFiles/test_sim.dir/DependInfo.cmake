@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_fifo.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_fifo.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fifo.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_vcd.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fpgafu_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fpgafu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fpgafu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/fpgafu_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fu/CMakeFiles/fpgafu_fu.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fpgafu_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsort/CMakeFiles/fpgafu_xsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/fpgafu_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/fpgafu_codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

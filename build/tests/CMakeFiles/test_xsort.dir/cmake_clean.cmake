@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xsort.dir/xsort/test_cell_array.cpp.o"
+  "CMakeFiles/test_xsort.dir/xsort/test_cell_array.cpp.o.d"
+  "CMakeFiles/test_xsort.dir/xsort/test_xsort_algorithm.cpp.o"
+  "CMakeFiles/test_xsort.dir/xsort/test_xsort_algorithm.cpp.o.d"
+  "CMakeFiles/test_xsort.dir/xsort/test_xsort_unit.cpp.o"
+  "CMakeFiles/test_xsort.dir/xsort/test_xsort_unit.cpp.o.d"
+  "test_xsort"
+  "test_xsort.pdb"
+  "test_xsort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
