@@ -38,7 +38,12 @@ class Dispatcher : public sim::Component {
         flags_(&flags),
         locks_(&locks),
         table_(&table),
-        counters_(&counters) {}
+        counters_(&counters),
+        h_dispatch_unit_(counters.handle("dispatch.unit")),
+        h_dispatch_exec_(counters.handle("dispatch.exec")),
+        h_stall_lock_(counters.handle("stall.lock")),
+        h_stall_unit_busy_(counters.handle("stall.unit_busy")),
+        h_stall_sync_(counters.handle("stall.sync")) {}
 
   sim::Handshake<DecodedInst>* in = nullptr;  ///< from the decoder
   sim::Handshake<ExecPacket> to_exec;         ///< to the execution stage
@@ -49,6 +54,18 @@ class Dispatcher : public sim::Component {
   /// `dispatch.unit<i>` / `dispatch.exec` with the instruction's sequence
   /// number as the value.
   void set_trace(sim::EventTrace* trace) { trace_ = trace; }
+
+  /// True while an instruction is pending pre-dispatch: offered on the
+  /// input channel but not yet routed to a functional unit or the
+  /// execution stage (hazard stall, busy unit, or exec backpressure).
+  ///
+  /// This is part of the SYNC/quiescence condition.  The paper's pipeline
+  /// has no global stall — system idleness must be composed from per-stage
+  /// state, and each stage must answer for itself.  Relying on the fact
+  /// that today's decoder happens to buffer the stalled instruction (and is
+  /// itself checked) would silently break the moment the dispatcher's
+  /// input is registered or fed by a different upstream stage.
+  bool busy() const { return in != nullptr && in->valid.peek(); }
 
   void eval() override {
     // Decide the routing first, then drive every output wire exactly once
@@ -96,7 +113,7 @@ class Dispatcher : public sim::Component {
       return;
     }
     if (!in->fire()) {
-      if (stall_reason_ != nullptr) {
+      if (stall_reason_ != kNoCounter) {
         counters_->bump(stall_reason_);
       }
       return;
@@ -112,7 +129,7 @@ class Dispatcher : public sim::Component {
         if (table_->unit(owner).writes_second(di.inst.variety)) {
           locks_->lock_data(di.inst.aux, owner);
         }
-        counters_->bump("dispatch.unit");
+        counters_->bump(h_dispatch_unit_);
         if (trace_ != nullptr) {
           trace_->event(simulator().cycle(),
                         "dispatch.unit" + std::to_string(owner), di.seq);
@@ -121,7 +138,7 @@ class Dispatcher : public sim::Component {
       }
       case Route::kToExec:
         lock_for_exec(di);
-        counters_->bump("dispatch.exec");
+        counters_->bump(h_dispatch_exec_);
         if (trace_ != nullptr) {
           trace_->event(simulator().cycle(), "dispatch.exec", di.seq);
         }
@@ -132,10 +149,15 @@ class Dispatcher : public sim::Component {
   void reset() override {
     to_exec.reset();
     route_ = Route::kNone;
+    stall_reason_ = kNoCounter;
   }
 
  private:
   enum class Route { kNone, kToUnit, kToExec };
+
+  /// Sentinel for "no stall counter to bump this cycle".
+  static constexpr sim::Counters::Handle kNoCounter =
+      ~sim::Counters::Handle{0};
 
   struct Plan {
     Route route = Route::kNone;
@@ -145,7 +167,7 @@ class Dispatcher : public sim::Component {
     /// Counter to bump when the instruction could not launch this cycle.
     /// Accounting happens once, in commit() — eval() may re-run several
     /// times per cycle while the network settles.
-    const char* stall_reason = nullptr;
+    sim::Counters::Handle stall_reason = kNoCounter;
   };
 
   std::uint32_t unit_index_of(const DecodedInst& di) const {
@@ -189,11 +211,11 @@ class Dispatcher : public sim::Component {
           locks_->data_locked(inst.dst1) ||
           locks_->flag_locked(inst.dst_flag) ||
           (dual && locks_->data_locked(inst.aux))) {
-        plan.stall_reason = "stall.lock";
+        plan.stall_reason = h_stall_lock_;
         return plan;  // kNone
       }
       if (!unit->ports.idle.get()) {
-        plan.stall_reason = "stall.unit_busy";
+        plan.stall_reason = h_stall_unit_busy_;
         return plan;
       }
       plan.route = Route::kToUnit;
@@ -247,7 +269,7 @@ class Dispatcher : public sim::Component {
         break;
     }
     if (stalled) {
-      plan.stall_reason = op == RtmOp::kSync ? "stall.sync" : "stall.lock";
+      plan.stall_reason = op == RtmOp::kSync ? h_stall_sync_ : h_stall_lock_;
       return plan;
     }
     plan.route = Route::kToExec;
@@ -295,9 +317,14 @@ class Dispatcher : public sim::Component {
   LockManager* locks_;
   FunctionalUnitTable* table_;
   sim::Counters* counters_;
+  sim::Counters::Handle h_dispatch_unit_;
+  sim::Counters::Handle h_dispatch_exec_;
+  sim::Counters::Handle h_stall_lock_;
+  sim::Counters::Handle h_stall_unit_busy_;
+  sim::Counters::Handle h_stall_sync_;
   sim::EventTrace* trace_ = nullptr;
   Route route_ = Route::kNone;
-  const char* stall_reason_ = nullptr;
+  sim::Counters::Handle stall_reason_ = kNoCounter;
 };
 
 }  // namespace fpgafu::rtm

@@ -89,9 +89,17 @@ class Rtm {
   /// True when no instruction is anywhere in the pipeline and every
   /// register write has retired (responses may still sit in the link or
   /// serialiser downstream of the encoder).
+  ///
+  /// Each stage answers for itself: the decoder (buffered words and burst
+  /// expansion), the dispatcher (an instruction offered but not yet
+  /// routed), the execution stage, outstanding register locks (in-flight
+  /// functional-unit writes), and buffered responses.  The dispatcher term
+  /// closes a hole: an instruction stalled pre-dispatch on a busy unit
+  /// with zero locks held is invisible to every other term unless the
+  /// upstream stage happens to buffer it.
   bool quiescent() const {
-    return !decoder_.busy() && !execution_.busy() && locks_.held() == 0 &&
-           encoder_.buffered() == 0;
+    return !decoder_.busy() && !dispatcher_.busy() && !execution_.busy() &&
+           locks_.held() == 0 && encoder_.buffered() == 0;
   }
 
   /// Clear architectural state (register files and locks).  The simulator's
@@ -109,6 +117,7 @@ class Rtm {
   FlagRegisterFile& flags() { return flags_; }
   const FlagRegisterFile& flags() const { return flags_; }
   const LockManager& locks() const { return locks_; }
+  const Dispatcher& dispatcher() const { return dispatcher_; }
   const FunctionalUnitTable& table() const { return table_; }
   sim::Counters& counters() { return counters_; }
   const sim::Counters& counters() const { return counters_; }

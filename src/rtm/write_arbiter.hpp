@@ -37,6 +37,10 @@ class WriteArbiter : public sim::Component {
         table_(&table),
         execution_(&execution),
         counters_(&counters),
+        h_hp_data_(counters.handle("arbiter.hp_data")),
+        h_hp_flags_(counters.handle("arbiter.hp_flags")),
+        h_unit_writes_(counters.handle("arbiter.unit_writes")),
+        h_contention_(counters.handle("arbiter.contention")),
         round_robin_(round_robin) {}
 
   void eval() override {
@@ -68,12 +72,12 @@ class WriteArbiter : public sim::Component {
     if (w.write_data) {
       regs_->write(w.dst_reg, w.data);
       locks_->unlock_data(w.dst_reg);
-      counters_->bump("arbiter.hp_data");
+      counters_->bump(h_hp_data_);
     }
     if (w.write_flags) {
       flags_->write(w.dst_flag_reg, w.flags);
       locks_->unlock_flag(w.dst_flag_reg);
-      counters_->bump("arbiter.hp_flags");
+      counters_->bump(h_hp_flags_);
     }
     if (trace_ != nullptr && (w.write_data || w.write_flags)) {
       trace_->event(simulator().cycle(), "writeback.hp",
@@ -96,7 +100,7 @@ class WriteArbiter : public sim::Component {
       if (r.unlock_flag_reg) {
         locks_->unlock_flag(r.dst_flag_reg);
       }
-      counters_->bump("arbiter.unit_writes");
+      counters_->bump(h_unit_writes_);
       if (trace_ != nullptr) {
         trace_->event(simulator().cycle(),
                       "writeback.unit" + std::to_string(grant_), r.dst_reg);
@@ -116,7 +120,7 @@ class WriteArbiter : public sim::Component {
       }
     }
     if (waiting > 0) {
-      counters_->bump("arbiter.contention", waiting);
+      counters_->bump(h_contention_, waiting);
     }
   }
 
@@ -138,6 +142,10 @@ class WriteArbiter : public sim::Component {
   FunctionalUnitTable* table_;
   Execution* execution_;
   sim::Counters* counters_;
+  sim::Counters::Handle h_hp_data_;
+  sim::Counters::Handle h_hp_flags_;
+  sim::Counters::Handle h_unit_writes_;
+  sim::Counters::Handle h_contention_;
   sim::EventTrace* trace_ = nullptr;
   bool round_robin_;
   std::size_t grant_ = kNoGrant;

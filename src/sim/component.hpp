@@ -38,8 +38,13 @@ class Component {
   const Simulator& simulator() const { return sim_; }
 
  private:
+  friend class Simulator;
+
   Simulator& sim_;
   std::string name_;
+  /// Scheduling state of the sensitivity kernel: true while this component
+  /// sits in the simulator's dirty queue awaiting re-evaluation.
+  bool queued_ = false;
 };
 
 }  // namespace fpgafu::sim

@@ -23,6 +23,17 @@ struct Handshake {
 
   bool fire() const { return valid.get() && ready.get(); }
 
+  /// Subscribe `component` to all three nets explicitly (see
+  /// WireBase::sensitive_to).  Components whose eval() reads this channel
+  /// are recorded automatically; this is for monitors or adapters that
+  /// observe the channel through peek() or a side channel and must still be
+  /// re-evaluated when it moves.
+  void sensitive_to(Component& component) {
+    valid.sensitive_to(component);
+    data.sensitive_to(component);
+    ready.sensitive_to(component);
+  }
+
   /// Producer-side helpers.
   void offer(const T& v) {
     valid.set(true);

@@ -1,28 +1,95 @@
 #pragma once
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 
 namespace fpgafu::sim {
 
+/// Untyped part of a Wire: identity, the owning simulator, and the
+/// sensitivity list — the set of components observed reading this wire from
+/// their `eval()`.  The sensitivity kernel re-evaluates exactly these
+/// components when the wire's value changes during a settle.
+///
+/// The list is populated automatically: while a component's `eval()` runs,
+/// every `Wire::get()` records that component as a reader.  Recording
+/// happens on every pass (not just the first), so a component whose read set
+/// is conditional subscribes to a wire the first time any of its evaluations
+/// actually reads it.  Subscriptions are conservative and permanent: a stale
+/// subscription costs at most a redundant re-evaluation, which is harmless
+/// because `eval()` is idempotent for fixed inputs.  Components with reads
+/// the tracker cannot see (e.g. data fetched through a non-Wire side
+/// channel) can subscribe explicitly with `sensitive_to()`.
+class WireBase {
+ public:
+  WireBase(const WireBase&) = delete;
+  WireBase& operator=(const WireBase&) = delete;
+
+  /// Explicitly subscribe `component` for re-evaluation whenever this wire
+  /// changes, as if it had been observed reading it.
+  void sensitive_to(Component& component) { subscribe(&component); }
+
+ protected:
+  explicit WireBase(Simulator& sim) : sim_(&sim) { sim_->register_wire(*this); }
+  ~WireBase() { sim_->unregister_wire(*this); }
+
+  /// Record the currently evaluating component (if any) as a reader.
+  void on_read() const {
+    Component* reader = sim_->reading_;
+    if (reader == nullptr) {
+      return;  // read from commit(), a test, or host code: not a sensitivity
+    }
+    // Fast path: repeated gets from the same eval() hit the back slot.
+    if (!readers_.empty() && readers_.back() == reader) {
+      return;
+    }
+    const_cast<WireBase*>(this)->subscribe(reader);
+  }
+
+  /// The value changed: mark the pass dirty and queue the readers.
+  void on_change() { sim_->wire_changed(*this); }
+
+ private:
+  friend class Simulator;
+
+  void subscribe(Component* reader) {
+    if (std::find(readers_.begin(), readers_.end(), reader) ==
+        readers_.end()) {
+      readers_.push_back(reader);
+    }
+  }
+
+  Simulator* sim_;
+  std::vector<Component*> readers_;
+};
+
 /// A combinational signal (a VHDL wire / unregistered std_logic_vector).
 ///
 /// Exactly one component should drive a Wire (from its `eval()`); any number
 /// may read it.  Writes are change-detecting so the kernel's fixed-point
-/// settling knows when the net has stabilised.
+/// settling knows when the net has stabilised, and reads made from an
+/// `eval()` are recorded on the sensitivity list (see WireBase).
 template <typename T>
-class Wire {
+class Wire : public WireBase {
  public:
   explicit Wire(Simulator& sim, T initial = T{})
-      : sim_(&sim), value_(std::move(initial)), reset_value_(value_) {}
+      : WireBase(sim), value_(std::move(initial)), reset_value_(value_) {}
 
-  const T& get() const { return value_; }
+  const T& get() const {
+    on_read();
+    return value_;
+  }
+
+  /// Read without recording a sensitivity — for monitors and assertions
+  /// that must not schedule their host component.
+  const T& peek() const { return value_; }
 
   void set(const T& v) {
     if (!(value_ == v)) {
       value_ = v;
-      sim_->note_change();
+      on_change();
     }
   }
 
@@ -30,7 +97,6 @@ class Wire {
   void reset() { value_ = reset_value_; }
 
  private:
-  Simulator* sim_;
   T value_;
   T reset_value_;
 };

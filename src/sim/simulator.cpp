@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/component.hpp"
+#include "sim/signal.hpp"
 
 namespace fpgafu::sim {
 
@@ -12,6 +13,50 @@ void Simulator::remove(Component& component) {
   components_.erase(
       std::remove(components_.begin(), components_.end(), &component),
       components_.end());
+  // The component may sit in the dirty queue and on sensitivity lists of
+  // wires it does not own; purge both so no dangling pointer survives it.
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), &component),
+               queue_.end());
+  for (WireBase* w : wires_) {
+    w->readers_.erase(
+        std::remove(w->readers_.begin(), w->readers_.end(), &component),
+        w->readers_.end());
+  }
+}
+
+void Simulator::register_wire(WireBase& wire) { wires_.push_back(&wire); }
+
+void Simulator::unregister_wire(WireBase& wire) {
+  wires_.erase(std::remove(wires_.begin(), wires_.end(), &wire), wires_.end());
+}
+
+void Simulator::enqueue(Component& component) {
+  if (!component.queued_) {
+    component.queued_ = true;
+    queue_.push_back(&component);
+  }
+}
+
+void Simulator::clear_queue() {
+  for (Component* c : queue_) {
+    c->queued_ = false;
+  }
+  queue_.clear();
+  requeue_all_ = false;
+}
+
+void Simulator::wire_changed(WireBase& wire) {
+  changed_ = true;
+  if (kernel_ == Kernel::kSensitivity) {
+    for (Component* reader : wire.readers_) {
+      enqueue(*reader);
+    }
+  }
+}
+
+void Simulator::note_change() {
+  changed_ = true;
+  requeue_all_ = true;
 }
 
 void Simulator::reset() {
@@ -20,14 +65,72 @@ void Simulator::reset() {
   }
   cycle_ = 0;
   max_settle_ = 0;
+  // Drop dirty state so a stray Wire::set between reset() and the first
+  // step() cannot leak a stale flag or queue entry into the first settle.
+  changed_ = false;
+  clear_queue();
 }
 
-void Simulator::step() {
+/// Sensitivity-scheduled settle: pass 1 evaluates every component (their
+/// registered state may have changed at the previous commit, which the wire
+/// tracker cannot see); every further pass drains only the components whose
+/// recorded input wires changed in the pass before.  Both kernels count a
+/// pass the same way, so `settle_limit_` and `max_settle_iterations()` keep
+/// their meaning, and a combinational loop keeps re-queueing its components
+/// until the limit trips exactly as the brute-force kernel would.
+void Simulator::settle_sensitivity() {
+  // Stray dirty state from between cycles (direct Wire::set by a test or
+  // host) is fully absorbed by the full first pass.
+  clear_queue();
+  unsigned iterations = 1;
+  changed_ = false;
+  for (Component* c : components_) {
+    reading_ = c;
+    c->eval();
+    ++evals_;
+  }
+  reading_ = nullptr;
+  while (!queue_.empty() || requeue_all_) {
+    if (++iterations > settle_limit_) {
+      clear_queue();
+      throw SimError("combinational loop: signals did not settle within " +
+                     std::to_string(settle_limit_) + " iterations");
+    }
+    const bool evaluate_all = requeue_all_;
+    requeue_all_ = false;
+    changed_ = false;
+    if (evaluate_all) {
+      // An untracked note_change(): fall back to a full pass.
+      clear_queue();
+      for (Component* c : components_) {
+        reading_ = c;
+        c->eval();
+        ++evals_;
+      }
+    } else {
+      work_.clear();
+      work_.swap(queue_);
+      for (Component* c : work_) {
+        c->queued_ = false;
+      }
+      for (Component* c : work_) {
+        reading_ = c;
+        c->eval();
+        ++evals_;
+      }
+    }
+    reading_ = nullptr;
+  }
+  max_settle_ = std::max(max_settle_, iterations);
+}
+
+void Simulator::settle_brute_force() {
   unsigned iterations = 0;
   do {
     changed_ = false;
     for (Component* c : components_) {
       c->eval();
+      ++evals_;
     }
     ++iterations;
     if (iterations > settle_limit_) {
@@ -36,6 +139,14 @@ void Simulator::step() {
     }
   } while (changed_);
   max_settle_ = std::max(max_settle_, iterations);
+}
+
+void Simulator::step() {
+  if (kernel_ == Kernel::kSensitivity) {
+    settle_sensitivity();
+  } else {
+    settle_brute_force();
+  }
   for (Component* c : components_) {
     c->commit();
   }

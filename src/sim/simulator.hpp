@@ -10,6 +10,7 @@
 namespace fpgafu::sim {
 
 class Component;
+class WireBase;
 
 /// Synchronous cycle-accurate simulation kernel.
 ///
@@ -19,18 +20,39 @@ class Component;
 /// this model is expressed as multi-cycle behaviour inside a component).
 ///
 /// Each cycle is executed in two phases:
-///   1. *Settle*: every component's `eval()` (combinational logic) runs
-///      repeatedly until no Wire changes value — a fixed-point evaluation
-///      that handles arbitrary acyclic combinational topologies without a
-///      static schedule.  A genuine combinational loop fails to converge and
-///      raises SimError, the moral equivalent of the synthesis error it
-///      would produce in VHDL.
+///   1. *Settle*: component `eval()` (combinational logic) runs until no
+///      Wire changes value — a fixed-point evaluation that handles arbitrary
+///      acyclic combinational topologies without a static schedule.  A
+///      genuine combinational loop fails to converge and raises SimError,
+///      the moral equivalent of the synthesis error it would produce in
+///      VHDL.
 ///   2. *Commit*: every component's `commit()` (clocked logic) runs once;
 ///      commits read Wires and the component's own pre-commit state only, so
 ///      commit order is immaterial — all registers update "simultaneously"
 ///      exactly as flip-flops do on a clock edge.
+///
+/// Two settle kernels implement phase 1 (see `Kernel`):
+///
+///   * `kSensitivity` (default): the first pass of each cycle evaluates
+///     every component (registered state may have changed at the previous
+///     commit), and Wire reads made during any `eval()` are recorded as
+///     sensitivities.  Subsequent passes re-evaluate only the components
+///     whose input wires actually changed — a dirty work-queue, the same
+///     idea as an event-driven HDL simulator's sensitivity lists.  Because
+///     `eval()` is required to be a pure function of wires + registered
+///     state, skipping a component whose recorded inputs are unchanged
+///     cannot alter the fixed point.
+///   * `kBruteForce`: the original kernel — every pass re-runs every
+///     component until a pass changes nothing.  Kept as the reference
+///     implementation; the differential tests pin the two kernels to
+///     bit-identical architectural behaviour.
 class Simulator {
  public:
+  enum class Kernel {
+    kSensitivity,  ///< dirty-queue scheduled settle (default)
+    kBruteForce,   ///< evaluate every component every pass (reference)
+  };
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -40,7 +62,9 @@ class Simulator {
   void add(Component& component);
   void remove(Component& component);
 
-  /// Assert reset on every component and rewind the cycle counter.
+  /// Assert reset on every component, rewind the cycle counter and drop any
+  /// pending dirty state (stray Wire writes between reset() and the first
+  /// step() must not leak into the first settle pass).
   void reset();
 
   /// Advance one clock cycle (settle + commit).
@@ -59,8 +83,10 @@ class Simulator {
   /// Cycles since construction or last reset().
   std::uint64_t cycle() const { return cycle_; }
 
-  /// Called by Wire writes; marks the current settle pass dirty.
-  void note_change() { changed_ = true; }
+  /// Select the settle kernel.  Call only at a cycle boundary (between
+  /// steps); the dirty queue of a half-settled cycle does not transfer.
+  void set_kernel(Kernel kernel) { kernel_ = kernel; }
+  Kernel kernel() const { return kernel_; }
 
   /// Largest number of settle iterations any cycle has needed so far.
   /// Exposed so tests can assert the model contains no pathological
@@ -70,10 +96,46 @@ class Simulator {
   /// Upper bound on settle iterations before declaring a combinational loop.
   void set_settle_limit(unsigned limit) { settle_limit_ = limit; }
 
+  /// Components currently queued for re-evaluation.  Zero at every cycle
+  /// boundary and after reset() — tests assert this invariant.
+  std::size_t pending_reevals() const { return queue_.size(); }
+
+  /// Total component eval() calls across all settle passes (both kernels).
+  /// The sensitivity kernel's win is visible as a lower count for the same
+  /// cycle count; bench_sim_kernel reports the ratio.
+  std::uint64_t evals_performed() const { return evals_; }
+
+  /// Called on any Wire value change; marks the settle pass dirty and, under
+  /// the sensitivity kernel, queues the wire's recorded readers.
+  void wire_changed(WireBase& wire);
+
+  /// Legacy entry point for code that signals a change without a WireBase
+  /// (kept for custom components); forces the conservative path: the pass is
+  /// marked dirty and, under the sensitivity kernel, every component is
+  /// re-evaluated next pass.
+  void note_change();
+
  private:
+  friend class Component;
+  friend class WireBase;
+
+  void register_wire(WireBase& wire);
+  void unregister_wire(WireBase& wire);
+  void enqueue(Component& component);
+  void clear_queue();
+  void settle_sensitivity();
+  void settle_brute_force();
+
   std::vector<Component*> components_;
+  std::vector<WireBase*> wires_;
+  std::vector<Component*> queue_;  ///< components to re-evaluate next pass
+  std::vector<Component*> work_;   ///< pass currently being drained
+  Component* reading_ = nullptr;   ///< component whose eval() is running
   std::uint64_t cycle_ = 0;
+  std::uint64_t evals_ = 0;
   bool changed_ = false;
+  bool requeue_all_ = false;  ///< set by note_change(): untracked change
+  Kernel kernel_ = Kernel::kSensitivity;
   unsigned settle_limit_ = 64;
   unsigned max_settle_ = 0;
 };

@@ -51,7 +51,17 @@ class RingBuffer {
     return value;
   }
 
+  /// Empty the buffer and release the old payloads.  Resetting only the
+  /// head/size bookkeeping would keep every previously stored element alive
+  /// in `slots_` — for payloads that own resources (queued messages holding
+  /// heap buffers) that is a silent leak until the slot is overwritten.
+  /// Assigning a fresh default also works for move-only element types,
+  /// which `slots_ = std::vector<T>(n)` would not require but `std::fill`
+  /// with an lvalue prototype would reject.
   void clear() {
+    for (T& slot : slots_) {
+      slot = T{};
+    }
     head_ = 0;
     size_ = 0;
   }

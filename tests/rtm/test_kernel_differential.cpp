@@ -1,0 +1,121 @@
+// Differential pinning of the two settle kernels (sim::Simulator::Kernel):
+// the sensitivity-scheduled kernel must be *bit-identical* to the
+// brute-force reference in everything architecturally observable — same
+// responses, same register/flag files, same cycle counts, same statistics
+// counters.  The sensitivity kernel is allowed to differ only in how much
+// work it performs (fewer eval() calls).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/program_gen.hpp"
+#include "support/rtm_harness.hpp"
+
+namespace fpgafu::rtm {
+namespace {
+
+using fpgafu::testing::ProgramGenOptions;
+using fpgafu::testing::random_program;
+using fpgafu::testing::RtmRig;
+
+struct KernelRun {
+  std::vector<msg::Response> responses;
+  std::vector<isa::Word> regs;
+  std::vector<isa::FlagWord> flags;
+  std::uint64_t cycles = 0;
+  std::uint64_t evals = 0;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+KernelRun run_under(sim::Simulator::Kernel kernel, const rtm::RtmConfig& cfg,
+                    fu::Skeleton skeleton, const isa::Program& program) {
+  RtmRig rig(cfg, skeleton);
+  rig.sim.set_kernel(kernel);
+  KernelRun out;
+  out.responses = rig.run_program(program);
+  for (std::size_t r = 0; r < cfg.data_regs; ++r) {
+    out.regs.push_back(rig.rtm.regs().read(static_cast<isa::RegNum>(r)));
+  }
+  for (std::size_t r = 0; r < cfg.flag_regs; ++r) {
+    out.flags.push_back(rig.rtm.flags().read(static_cast<isa::RegNum>(r)));
+  }
+  out.cycles = rig.sim.cycle();
+  out.evals = rig.sim.evals_performed();
+  out.counters = rig.rtm.counters().all();
+  return out;
+}
+
+struct KernelDiffCase {
+  std::uint64_t seed;
+  fu::Skeleton skeleton;
+  bool errors;
+};
+
+class KernelDifferential : public ::testing::TestWithParam<KernelDiffCase> {};
+
+TEST_P(KernelDifferential, SensitivityKernelMatchesBruteForce) {
+  const KernelDiffCase c = GetParam();
+  rtm::RtmConfig cfg;
+  cfg.data_regs = 16;
+  cfg.flag_regs = 4;
+
+  ProgramGenOptions opt;
+  opt.instructions = 200;
+  opt.include_errors = c.errors;
+  const isa::Program program = random_program(cfg, c.seed, opt);
+
+  const KernelRun sens = run_under(sim::Simulator::Kernel::kSensitivity, cfg,
+                                   c.skeleton, program);
+  const KernelRun brute = run_under(sim::Simulator::Kernel::kBruteForce, cfg,
+                                    c.skeleton, program);
+
+  ASSERT_EQ(sens.responses.size(), brute.responses.size());
+  for (std::size_t i = 0; i < sens.responses.size(); ++i) {
+    EXPECT_EQ(sens.responses[i], brute.responses[i])
+        << "response " << i << ": sensitivity "
+        << msg::to_string(sens.responses[i]) << " vs brute-force "
+        << msg::to_string(brute.responses[i]);
+  }
+  EXPECT_EQ(sens.regs, brute.regs);
+  EXPECT_EQ(sens.flags, brute.flags);
+  EXPECT_EQ(sens.cycles, brute.cycles);
+  EXPECT_EQ(sens.counters, brute.counters);
+  // The scheduled kernel must not do MORE work than evaluate-everything.
+  EXPECT_LE(sens.evals, brute.evals);
+}
+
+std::vector<KernelDiffCase> make_cases() {
+  std::vector<KernelDiffCase> cases;
+  const fu::Skeleton skeletons[] = {fu::Skeleton::kMinimal,
+                                    fu::Skeleton::kMinimalFwd,
+                                    fu::Skeleton::kFsm,
+                                    fu::Skeleton::kPipelined};
+  std::uint64_t seed = 42;
+  for (const auto sk : skeletons) {
+    for (int i = 0; i < 3; ++i) {
+      cases.push_back({seed++, sk, /*errors=*/(i % 2) == 1});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, KernelDifferential, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<KernelDiffCase>& pinfo) {
+      const char* sk = "";
+      switch (pinfo.param.skeleton) {
+        case fu::Skeleton::kMinimal: sk = "Minimal"; break;
+        case fu::Skeleton::kMinimalFwd: sk = "MinimalFwd"; break;
+        case fu::Skeleton::kFsm: sk = "Fsm"; break;
+        case fu::Skeleton::kPipelined: sk = "Pipelined"; break;
+      }
+      return std::string(sk) + "_seed" + std::to_string(pinfo.param.seed) +
+             (pinfo.param.errors ? "_faulty" : "");
+    });
+
+}  // namespace
+}  // namespace fpgafu::rtm

@@ -1,0 +1,149 @@
+// Regression coverage for the quiescence-detection hole: an instruction
+// stalled *pre-dispatch* (offered to the dispatcher but not yet routed) on
+// a busy functional unit while ZERO register locks are held was invisible
+// to every term of the original Rtm::quiescent() except the decoder's —
+// and only because today's decoder happens to buffer the stalled
+// instruction.  quiescent() now composes per-stage state including
+// Dispatcher::busy(); this file does not compile against the old interface
+// (no Dispatcher::busy(), no Rtm::dispatcher()), which is the point: the
+// contract is part of the API now.
+
+#include <gtest/gtest.h>
+
+#include "fu/functional_unit.hpp"
+#include "isa/assembler.hpp"
+#include "support/rtm_harness.hpp"
+
+namespace fpgafu::rtm {
+namespace {
+
+using fpgafu::testing::RtmRig;
+using isa::Assembler;
+
+/// A single-operation adder that stays busy (idle deasserted) for
+/// `cooldown` cycles *after* its completion retires.  During the cooldown
+/// the unit holds no locks — its write has landed — yet it cannot accept a
+/// dispatch, so a following instruction for it waits pre-dispatch with
+/// locks().held() == 0.  Real units behave like this too (e.g. a unit
+/// draining an internal pipeline or recharging a resource); the cooldown
+/// just widens the window enough to assert on.
+class CooldownFu : public fu::FunctionalUnit {
+ public:
+  CooldownFu(sim::Simulator& sim, unsigned cooldown)
+      : FunctionalUnit(sim, "cooldown_fu"), cooldown_(cooldown) {}
+
+  void eval() override {
+    ports.idle.set(state_ == State::kIdle);
+    ports.data_ready.set(state_ == State::kOutput);
+    if (state_ == State::kOutput) {
+      fu::FuResult r;
+      r.data = req_.operand1 + req_.operand2;
+      r.dst_reg = req_.dst_reg;
+      r.dst_flag_reg = req_.dst_flag_reg;
+      r.write_data = true;
+      r.write_flags = true;
+      ports.result.set(r);
+    }
+  }
+
+  void commit() override {
+    switch (state_) {
+      case State::kIdle:
+        if (ports.dispatch.get()) {
+          req_ = ports.request.get();
+          state_ = State::kOutput;
+        }
+        break;
+      case State::kOutput:
+        if (ports.data_acknowledge.get()) {
+          ++completed_;
+          timer_ = cooldown_;
+          state_ = cooldown_ > 0 ? State::kCooldown : State::kIdle;
+        }
+        break;
+      case State::kCooldown:
+        if (--timer_ == 0) {
+          state_ = State::kIdle;
+        }
+        break;
+    }
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    state_ = State::kIdle;
+    timer_ = 0;
+    req_ = {};
+  }
+
+ private:
+  enum class State { kIdle, kOutput, kCooldown };
+  unsigned cooldown_;
+  State state_ = State::kIdle;
+  unsigned timer_ = 0;
+  fu::FuRequest req_;
+};
+
+TEST(RtmQuiescent, StalledDispatchWithZeroLocksIsNotQuiescent) {
+  RtmRig rig({}, fu::Skeleton::kMinimal, /*attach_units=*/false);
+  CooldownFu unit(rig.sim, /*cooldown=*/8);
+  rig.rtm.attach(isa::fc::kArith, unit);
+
+  // Back-to-back operations on the same unit (distinct destination data
+  // and flag registers, so no lock hazard between them): the first
+  // completes and retires; the second then sits at the dispatcher for the
+  // whole cooldown with zero locks held.
+  const isa::Program program = Assembler::assemble(R"(
+    PUTI r1, 40
+    PUTI r2, 2
+    ADD r3, r1, r2, f1
+    ADD r4, r1, r2, f2
+    GET r3
+    GET r4
+  )");
+  for (const isa::Word w : program.words()) {
+    rig.prod.push(w);
+  }
+
+  bool saw_stall_window = false;
+  std::uint64_t guard = 0;
+  while (!(rig.prod.done() && rig.cons.received().size() >= 2 &&
+           rig.rtm.quiescent())) {
+    ASSERT_LT(++guard, 10000u) << "pipeline failed to drain";
+    rig.sim.step();
+    if (rig.rtm.dispatcher().busy() && rig.rtm.locks().held() == 0) {
+      saw_stall_window = true;
+      // The hole this test pins shut: with an instruction pending
+      // pre-dispatch, the machine is NOT quiescent, even though no lock
+      // is held and the downstream stages are empty.
+      EXPECT_FALSE(rig.rtm.quiescent());
+    }
+  }
+  EXPECT_TRUE(saw_stall_window)
+      << "scenario failed to reach the pre-dispatch stall window";
+  EXPECT_GT(rig.rtm.counters().get("stall.unit_busy"), 0u);
+
+  ASSERT_EQ(rig.cons.received().size(), 2u);
+  EXPECT_EQ(rig.cons.received()[0].payload, 42u);
+  EXPECT_EQ(rig.cons.received()[1].payload, 42u);
+  EXPECT_TRUE(rig.rtm.quiescent());
+  EXPECT_FALSE(rig.rtm.dispatcher().busy());
+}
+
+TEST(RtmQuiescent, DispatcherBusyTracksPendingInput) {
+  // busy() is simply "an instruction is offered on my input": true while
+  // anything pre-dispatch exists, false once the pipeline drains.
+  RtmRig rig;
+  EXPECT_FALSE(rig.rtm.dispatcher().busy());
+  const auto responses = rig.run_program(Assembler::assemble(R"(
+    PUT r1, #7
+    GET r1
+  )"));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].payload, 7u);
+  EXPECT_FALSE(rig.rtm.dispatcher().busy());
+  EXPECT_TRUE(rig.rtm.quiescent());
+}
+
+}  // namespace
+}  // namespace fpgafu::rtm

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "util/error.hpp"
@@ -70,6 +71,40 @@ TEST(RingBuffer, MoveOnlyFriendly) {
   EXPECT_EQ(rb.pop(), "hello");
   rb.clear();
   EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, ClearReleasesStoredPayloads) {
+  // clear() must not merely rewind head/size: the slots would then keep
+  // the old payloads alive (a silent leak for resource-owning elements)
+  // until the slot happens to be overwritten.
+  RingBuffer<std::shared_ptr<int>> rb(4);
+  auto p = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = p;
+  rb.push(std::move(p));
+  ASSERT_FALSE(alive.expired());
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(RingBuffer, PopReleasesThePoppedSlot) {
+  RingBuffer<std::shared_ptr<int>> rb(2);
+  auto p = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = p;
+  rb.push(std::move(p));
+  rb.pop();
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(RingBuffer, ClearWorksWithMoveOnlyPayloads) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(1));
+  rb.push(std::make_unique<int>(2));
+  EXPECT_EQ(*rb.pop(), 1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(std::make_unique<int>(3));
+  EXPECT_EQ(*rb.pop(), 3);
 }
 
 }  // namespace
