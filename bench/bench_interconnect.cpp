@@ -16,6 +16,7 @@
 
 #include "bench_util.hpp"
 #include "host/coprocessor.hpp"
+#include "host/reliable_transport.hpp"
 #include "isa/arith.hpp"
 #include "isa/assembler.hpp"
 #include "isa/program.hpp"
@@ -215,6 +216,75 @@ void print_batching_table() {
   bench::note("want queue depth.");
 }
 
+/// 64 ADD+GET pairs through the reliable transport over a lossy link:
+/// returns {cycles, retries} for the fault rate (applied equally to
+/// upstream drop, corruption and duplication).
+struct FaultRunResult {
+  std::uint64_t cycles;
+  std::uint64_t retries;
+};
+
+FaultRunResult faulted_cycles(std::uint32_t fault_ppm) {
+  top::SystemConfig cfg;
+  if (fault_ppm != 0) {
+    msg::FaultConfig f;
+    f.seed = 0xbe7c;
+    f.up.drop_ppm = fault_ppm;
+    f.up.corrupt_ppm = fault_ppm;
+    f.up.duplicate_ppm = fault_ppm;
+    cfg.link_faults = f;
+  }
+  top::System sys(cfg);
+  host::Coprocessor copro(sys);
+  host::TransportConfig tcfg;
+  tcfg.response_timeout = 500;
+  host::ReliableTransport transport(copro, tcfg);
+
+  isa::Program p;
+  p.emit_put(1, 21);
+  p.emit_put(2, 2);
+  for (int k = 0; k < 64; ++k) {
+    isa::Instruction add;
+    add.function = isa::fc::kArith;
+    add.variety = isa::arith::variety(isa::arith::Op::kAdd);
+    add.dst1 = static_cast<isa::RegNum>(3 + (k % 8));
+    add.src1 = 1;
+    add.src2 = 2;
+    p.emit(add);
+    isa::Instruction get;
+    get.function = isa::fc::kRtm;
+    get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+    get.src1 = add.dst1;
+    p.emit(get);
+  }
+  const auto start = sys.simulator().cycle();
+  transport.call(p);
+  return {sys.simulator().cycle() - start,
+          transport.counters().get("transport.retries")};
+}
+
+void print_fault_table() {
+  bench::section("E6e", "Reliable transport goodput vs link fault rate "
+                        "(64 ADD+GET pairs; rate applies to upstream drop, "
+                        "corruption and duplication each)");
+  TextTable t({"fault rate", "total cycles", "retries", "ops/kcycle",
+               "slowdown vs clean"});
+  const FaultRunResult clean = faulted_cycles(0);
+  for (const std::uint32_t ppm : {0u, 10'000u, 20'000u, 50'000u}) {
+    const FaultRunResult r = faulted_cycles(ppm);
+    t.add_row({format_fixed(static_cast<double>(ppm) / 10'000.0, 1) + "%",
+               std::to_string(r.cycles), std::to_string(r.retries),
+               format_fixed(64.0 * 1000.0 / static_cast<double>(r.cycles), 2),
+               format_fixed(static_cast<double>(r.cycles) /
+                                static_cast<double>(clean.cycles),
+                            2)});
+  }
+  t.print(std::cout);
+  bench::note("Retries resend whole instructions, so goodput degrades");
+  bench::note("faster than the raw fault rate: one lost frame costs a");
+  bench::note("timeout or a gap-detected round trip, not just one word.");
+}
+
 void BM_RoundTrip(benchmark::State& state) {
   const auto& preset = kPresets[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
@@ -229,6 +299,7 @@ int main(int argc, char** argv) {
   print_tables();
   print_burst_table();
   print_batching_table();
+  print_fault_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,13 +1,40 @@
 #include "host/coprocessor.hpp"
 
+#include <array>
+
 #include "isa/rtm_ops.hpp"
 #include "util/error.hpp"
 
 namespace fpgafu::host {
 
+void Coprocessor::sync_reset() {
+  const std::uint64_t gen = system_->simulator().reset_generation();
+  if (gen != reset_generation_) {
+    reset_generation_ = gen;
+    rx_words_.clear();
+  }
+}
+
+void Coprocessor::pump_rx() {
+  while (auto w = system_->link().host_receive()) {
+    rx_words_.push_back(*w);
+  }
+}
+
+void Coprocessor::send_link_word(msg::LinkWord word) {
+  sync_reset();
+  while (!system_->link().host_send(word)) {
+    // Bounded downstream buffer is full: let the FPGA drain a word.  Keep
+    // pulling arrived responses off the link meanwhile so a bounded
+    // upstream buffer cannot deadlock the exchange.
+    system_->simulator().step();
+    pump_rx();
+  }
+}
+
 void Coprocessor::submit_word(isa::Word word) {
-  system_->link().host_send(static_cast<msg::LinkWord>(word >> 32));
-  system_->link().host_send(static_cast<msg::LinkWord>(word & 0xffffffffu));
+  send_link_word(static_cast<msg::LinkWord>(word >> 32));
+  send_link_word(static_cast<msg::LinkWord>(word & 0xffffffffu));
 }
 
 void Coprocessor::submit(const isa::Program& program) {
@@ -17,46 +44,70 @@ void Coprocessor::submit(const isa::Program& program) {
 }
 
 std::optional<msg::Response> Coprocessor::poll() {
-  while (auto w = system_->link().host_receive()) {
-    frame_[frame_fill_++] = *w;
-    if (frame_fill_ == msg::kLinkWordsPerResponse) {
-      frame_fill_ = 0;
-      ++responses_received_;
-      return msg::Response::from_link_words(frame_);
+  sync_reset();
+  pump_rx();
+  while (rx_words_.size() >= msg::kLinkWordsPerResponse) {
+    std::array<msg::LinkWord, msg::kLinkWordsPerResponse> frame;
+    for (unsigned i = 0; i < msg::kLinkWordsPerResponse; ++i) {
+      frame[i] = rx_words_[i];
     }
+    if (msg::Response::frame_ok(frame)) {
+      rx_words_.erase(rx_words_.begin(),
+                      rx_words_.begin() + msg::kLinkWordsPerResponse);
+      ++responses_received_;
+      return msg::Response::from_link_words(frame);
+    }
+    // Misaligned or corrupted: slide one word and retry.  The bad frame is
+    // lost (the transport layer's job to recover); framing realigns.
+    rx_words_.pop_front();
+    stats_.bump(crc_resyncs_);
   }
   return std::nullopt;
 }
+
+void Coprocessor::reset() { rx_words_.clear(); }
 
 std::vector<msg::Response> Coprocessor::call(const isa::Program& program,
                                              std::uint64_t max_cycles) {
   submit(program);
   std::vector<msg::Response> responses;
   sim::Simulator& sim = system_->simulator();
-  sim.run_until(
-      [&] {
-        while (auto r = poll()) {
-          responses.push_back(*r);
-        }
-        // Done when the expected responses arrived and nothing is still in
-        // flight (extra error responses drain before idle turns true).
-        return responses.size() >= program.expected_responses() &&
-               system_->idle();
-      },
-      max_cycles);
+  try {
+    sim.run_until(
+        [&] {
+          while (auto r = poll()) {
+            responses.push_back(*r);
+          }
+          // Done when the expected responses arrived and nothing is still in
+          // flight (extra error responses drain before idle turns true).
+          return responses.size() >= program.expected_responses() &&
+                 system_->idle();
+        },
+        max_cycles);
+  } catch (const SimError&) {
+    // Watchdog fired with an unknown amount of a frame consumed; drop the
+    // partial words so the next exchange starts aligned.
+    reset();
+    throw;
+  }
   return responses;
 }
 
 msg::Response Coprocessor::wait_response(std::uint64_t max_cycles) {
   std::optional<msg::Response> got;
-  system_->simulator().run_until(
-      [&] {
-        if (!got.has_value()) {
-          got = poll();
-        }
-        return got.has_value();
-      },
-      max_cycles);
+  try {
+    system_->simulator().run_until(
+        [&] {
+          if (!got.has_value()) {
+            got = poll();
+          }
+          return got.has_value();
+        },
+        max_cycles);
+  } catch (const SimError&) {
+    reset();
+    throw;
+  }
   return *got;
 }
 

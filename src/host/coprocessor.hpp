@@ -1,11 +1,12 @@
 #pragma once
 
-#include <array>
+#include <deque>
 #include <optional>
 #include <vector>
 
 #include "isa/program.hpp"
 #include "msg/response.hpp"
+#include "sim/trace.hpp"
 #include "top/system.hpp"
 
 namespace fpgafu::host {
@@ -22,20 +23,40 @@ namespace fpgafu::host {
 /// The driver advances the simulator clock when it blocks — from the
 /// software's point of view the coprocessor is "a fast I/O device" it
 /// spins on.
+///
+/// Response deframing is checksum-verified: received link words accumulate
+/// in a window and a response is only accepted when a full frame passes
+/// `Response::frame_ok`.  A failing window slides forward one word at a
+/// time (counted as `host.crc_resyncs`) until it realigns, so a dropped or
+/// corrupted link word garbles one frame instead of every frame after it.
+/// The driver also watches the simulator's reset generation: if the system
+/// is reset under it (or a watchdog fires mid-call), any partially
+/// deframed words are discarded instead of corrupting the next exchange.
 class Coprocessor {
  public:
-  explicit Coprocessor(top::System& system) : system_(&system) {}
+  explicit Coprocessor(top::System& system)
+      : system_(&system),
+        reset_generation_(system.simulator().reset_generation()),
+        crc_resyncs_(stats_.handle("host.crc_resyncs")) {}
 
   // -- Asynchronous interface ----------------------------------------------
-  /// Queue one 64-bit stream word for transmission (2 link words).
+  /// Queue one 64-bit stream word for transmission (2 link words).  Blocks
+  /// (stepping the clock) while the bounded downstream link buffer is full;
+  /// arrived upstream words keep draining into the receive window during
+  /// the wait, so a full-duplex exchange cannot deadlock.
   void submit_word(isa::Word word);
 
   /// Queue a whole program.
   void submit(const isa::Program& program);
 
-  /// Non-blocking: reassemble and return the next response if its three
-  /// link words have all arrived.
+  /// Non-blocking: return the next response whose complete frame has
+  /// arrived and verified.
   std::optional<msg::Response> poll();
+
+  /// Drop any partially deframed link words and restart framing from the
+  /// next word to arrive.  Wired automatically to system reset and call
+  /// watchdogs; harmless to call at any frame boundary.
+  void reset();
 
   // -- Blocking conveniences -------------------------------------------------
   /// Submit a program and run the clock until all of its responses arrived
@@ -62,14 +83,26 @@ class Coprocessor {
   /// Total responses received so far.
   std::uint64_t responses_received() const { return responses_received_; }
 
+  /// Host-side framing statistics (host.crc_resyncs).
+  const sim::Counters& counters() const { return stats_; }
+
   top::System& system() { return *system_; }
   const top::System& system() const { return *system_; }
 
  private:
+  /// Discard stale framing state if the system was reset since last use.
+  void sync_reset();
+  /// Move every arrived upstream link word into the receive window.
+  void pump_rx();
+  /// Send one link word, spinning the clock while the link is full.
+  void send_link_word(msg::LinkWord word);
+
   top::System* system_;
-  std::array<msg::LinkWord, msg::kLinkWordsPerResponse> frame_{};
-  unsigned frame_fill_ = 0;
+  std::deque<msg::LinkWord> rx_words_;  ///< deframing window
+  std::uint64_t reset_generation_;
   std::uint64_t responses_received_ = 0;
+  sim::Counters stats_;
+  sim::Counters::Handle crc_resyncs_;
 };
 
 }  // namespace fpgafu::host

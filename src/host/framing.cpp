@@ -1,0 +1,100 @@
+#include "host/framing.hpp"
+
+#include "isa/rtm_ops.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::host {
+
+std::vector<InstructionGroup> split_groups(const isa::Program& program) {
+  std::vector<InstructionGroup> groups;
+  const auto& words = program.words();
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    InstructionGroup group;
+    group.words.push_back(words[i]);
+    group.inst = isa::Instruction::decode(words[i]);
+    if (group.inst.function == isa::fc::kRtm) {
+      const auto op = static_cast<isa::RtmOp>(group.inst.variety);
+      std::size_t payload_words = 0;
+      if (op == isa::RtmOp::kPut) {
+        payload_words = 1;
+      } else if (op == isa::RtmOp::kPutVec) {
+        payload_words = group.inst.aux;
+      }
+      check(i + payload_words < words.size(),
+            "program ends inside a PUT/PUTV payload");
+      for (std::size_t k = 0; k < payload_words; ++k) {
+        group.words.push_back(words[++i]);
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+ResponsePrediction predict(const isa::Instruction& inst,
+                           const rtm::RtmConfig& config,
+                           const rtm::FunctionalUnitTable& table) {
+  auto data_ok = [&](isa::RegNum r) { return r < config.data_regs; };
+  auto flag_ok = [&](isa::RegNum r) { return r < config.flag_regs; };
+  const ResponsePrediction one_error{1, true};
+
+  using isa::RtmOp;
+  if (inst.function == isa::fc::kRtm) {
+    switch (static_cast<RtmOp>(inst.variety)) {
+      case RtmOp::kNop:
+        return {0, true};
+      case RtmOp::kSync:
+        return {1, true};
+      case RtmOp::kCopy:
+        return data_ok(inst.dst1) && data_ok(inst.src1)
+                   ? ResponsePrediction{0, false}
+                   : one_error;
+      case RtmOp::kCopyFlags:
+        return flag_ok(inst.dst_flag) && flag_ok(inst.src_flag)
+                   ? ResponsePrediction{0, false}
+                   : one_error;
+      case RtmOp::kPut:
+      case RtmOp::kPutImm:
+        return data_ok(inst.dst1) ? ResponsePrediction{0, false} : one_error;
+      case RtmOp::kPutVec:
+        // A zero-length burst does nothing, even with an invalid base: the
+        // decoder returns before validation can report.
+        if (inst.aux == 0) {
+          return {0, true};
+        }
+        return static_cast<unsigned>(inst.dst1) + inst.aux <= config.data_regs
+                   ? ResponsePrediction{0, false}
+                   : one_error;
+      case RtmOp::kGetVec:
+        // Every sub-read responds, in-range as data and out-of-range as an
+        // error, so the count is always aux.
+        return {inst.aux, true};
+      case RtmOp::kPutFlags:
+        return flag_ok(inst.dst_flag) ? ResponsePrediction{0, false}
+                                      : one_error;
+      case RtmOp::kGet:
+        return {1, true};  // data or error, always exactly one
+      case RtmOp::kGetFlags:
+        return {1, true};
+    }
+    return one_error;  // unknown RTM variety -> kUnknownFunction response
+  }
+
+  // Functional-unit instruction: decoder validation first, then the
+  // dispatcher's routing checks, in the same order.
+  if (!data_ok(inst.dst1) || !data_ok(inst.src1) || !data_ok(inst.src2) ||
+      !flag_ok(inst.dst_flag) || !flag_ok(inst.src_flag)) {
+    return one_error;
+  }
+  fu::FunctionalUnit* unit = table.find(inst.function);
+  if (unit == nullptr) {
+    return one_error;  // unattached function code
+  }
+  if (unit->writes_second(inst.variety) &&
+      (!data_ok(inst.aux) || inst.aux == inst.dst1)) {
+    return one_error;  // dual-output destination fault
+  }
+  return {0, false};  // dispatched to the unit; results land in registers
+}
+
+}  // namespace fpgafu::host

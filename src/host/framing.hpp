@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+#include "rtm/fu_table.hpp"
+#include "rtm/rtm.hpp"
+
+namespace fpgafu::host {
+
+/// One instruction plus any inline payload words (a PUT travels with its
+/// data word, a PUTV with its burst) — the unit of interleaving for
+/// MultiHost and the unit of retry for ReliableTransport.
+struct InstructionGroup {
+  std::vector<isa::Word> words;  ///< instruction word, then payload words
+  isa::Instruction inst;         ///< decoded copy of words[0]
+};
+
+/// Split a program into instruction groups.  Throws SimError when the
+/// program ends inside a PUT/PUTV payload.
+std::vector<InstructionGroup> split_groups(const isa::Program& program);
+
+/// What one instruction group will send back, predicted host-side.
+struct ResponsePrediction {
+  /// Responses the group produces (a GETV yields `aux`, most writes zero).
+  std::size_t count = 0;
+  /// True when re-submitting the group cannot change architectural state —
+  /// reads, SYNC, and faulting instructions (whose writes never land).  In
+  /// this ISA every response-producing group is retriable, because writes
+  /// are response-less; the field still travels with the prediction so the
+  /// transport's failure handling states its assumption explicitly.
+  bool retriable = false;
+};
+
+/// Host-side mirror of the decoder's validation and the dispatcher's
+/// routing: predicts exactly how many responses (data, flags, sync or
+/// error) one instruction will generate on the given RTM configuration
+/// with the given attached-unit table.
+ResponsePrediction predict(const isa::Instruction& inst,
+                           const rtm::RtmConfig& config,
+                           const rtm::FunctionalUnitTable& table);
+
+}  // namespace fpgafu::host

@@ -1,31 +1,12 @@
 #include "host/multi_host.hpp"
 
-#include "isa/instruction.hpp"
-#include "isa/rtm_ops.hpp"
 #include "util/error.hpp"
 
 namespace fpgafu::host {
 
 void MultiHost::Session::submit(const isa::Program& program) {
-  const auto& words = program.words();
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    std::vector<isa::Word> group{words[i]};
-    const isa::Instruction inst = isa::Instruction::decode(words[i]);
-    if (inst.function == isa::fc::kRtm) {
-      const auto op = static_cast<isa::RtmOp>(inst.variety);
-      std::size_t payload_words = 0;
-      if (op == isa::RtmOp::kPut) {
-        payload_words = 1;
-      } else if (op == isa::RtmOp::kPutVec) {
-        payload_words = inst.aux;
-      }
-      check(i + payload_words < words.size(),
-            "program ends inside a PUT/PUTV payload");
-      for (std::size_t k = 0; k < payload_words; ++k) {
-        group.push_back(words[++i]);
-      }
-    }
-    pending_.push_back(std::move(group));
+  for (InstructionGroup& g : split_groups(program)) {
+    pending_.push_back(std::move(g));
   }
 }
 
@@ -72,32 +53,58 @@ bool MultiHost::all_submitted() const {
 }
 
 void MultiHost::pump() {
-  // Round-robin: one instruction group per session per round, starting
-  // after the last session served (fairness across pumps).
+  // Round-robin: one instruction group per session per round, resuming
+  // after the last session actually served — if a round stops early (full
+  // link), the sessions it skipped are first in line next round.
   const std::size_t n = sessions_.size();
+  const rtm::Rtm& rtm = copro_.system().rtm();
+  bool served_any = false;
+  std::size_t last_served = 0;
   for (std::size_t k = 0; k < n; ++k) {
-    Session& s = *sessions_[(rr_next_ + k) % n];
+    const std::size_t idx = (rr_next_ + k) % n;
+    Session& s = *sessions_[idx];
     if (s.pending_.empty()) {
       continue;
     }
-    const std::vector<isa::Word>& group = s.pending_.front();
-    for (const isa::Word w : group) {
+    const InstructionGroup& group = s.pending_.front();
+    // A group that does not fit the downstream link buffer would block
+    // mid-instruction inside submit_word; end the round instead.
+    if (copro_.system().link().host_space() <
+        group.words.size() * msg::kLinkWordsPerStreamWord) {
+      break;
+    }
+    const ResponsePrediction pred =
+        predict(group.inst, rtm.config(), rtm.table());
+    for (const isa::Word w : group.words) {
       copro_.submit_word(w);
     }
-    seq_owner_[next_seq_] = s.id_;
+    // Response-less instructions still consume a sequence number; keep the
+    // owner entry live (released only by overwrite an epoch later) so a
+    // response that "cannot happen" is routed somewhere diagnosable.
+    seq_owner_[next_seq_] = {
+        s.id_, static_cast<std::uint16_t>(pred.count > 0 ? pred.count : 1)};
     ++next_seq_;  // uint16 wraps with the decoder's counter
     s.pending_.pop_front();
+    served_any = true;
+    last_served = idx;
   }
-  rr_next_ = n == 0 ? 0 : (rr_next_ + 1) % n;
+  if (served_any) {
+    rr_next_ = (last_served + 1) % n;
+  }
   route_responses();
 }
 
 void MultiHost::route_responses() {
   while (auto r = copro_.poll()) {
-    const std::size_t owner = seq_owner_[r->seq];
-    check(owner != kNobody && owner < sessions_.size(),
+    SeqOwner& owner = seq_owner_[r->seq];
+    check(owner.session != kNobody && owner.session < sessions_.size(),
           "response with unknown sequence owner");
-    sessions_[owner]->inbox_.push_back(*r);
+    sessions_[owner.session]->inbox_.push_back(*r);
+    // Release the entry once every due response has been routed, so a
+    // post-wrap duplicate trips the check above instead of misrouting.
+    if (--owner.remaining == 0) {
+      owner.session = kNobody;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "host/coprocessor.hpp"
+#include "host/framing.hpp"
 
 namespace fpgafu::host {
 
@@ -17,6 +18,12 @@ namespace fpgafu::host {
 /// instruction sequence number, and routes arriving responses back to the
 /// issuing session's inbox.  Because the RTM returns results in issue
 /// order, per-session response order equals per-session issue order.
+///
+/// Each sequence-number table entry is released once the predicted number
+/// of responses has been routed, so after the 16-bit sequence counter wraps
+/// a duplicate or stale response trips the "unknown sequence owner" check
+/// instead of being misrouted to whichever session owned the number an
+/// epoch ago.
 ///
 /// Note the isolation caveat this inherits from the hardware: sessions
 /// share the register files.  Sessions must partition registers among
@@ -38,6 +45,8 @@ class MultiHost {
 
     std::size_t id() const { return id_; }
     bool has_pending_instructions() const { return !pending_.empty(); }
+    /// Instruction groups queued but not yet interleaved onto the link.
+    std::size_t pending_count() const { return pending_.size(); }
 
    private:
     friend class MultiHost;
@@ -45,14 +54,13 @@ class MultiHost {
 
     MultiHost* owner_;
     std::size_t id_;
-    /// Instruction groups awaiting interleave: each entry is one
-    /// instruction plus any inline data words.
-    std::deque<std::vector<isa::Word>> pending_;
+    /// Instruction groups awaiting interleave.
+    std::deque<InstructionGroup> pending_;
     std::deque<msg::Response> inbox_;
   };
 
   explicit MultiHost(top::System& system) : copro_(system) {
-    seq_owner_.assign(1u << 16, kNobody);
+    seq_owner_.assign(std::size_t{1} << 16, SeqOwner{});
   }
 
   /// Create a new session; references remain valid for the MultiHost's
@@ -60,7 +68,9 @@ class MultiHost {
   Session& create_session();
 
   /// One multiplexer round: interleave up to one instruction per session
-  /// onto the link (round-robin), then route any arrived responses.
+  /// onto the link (round-robin, resuming after the last session actually
+  /// served), then route any arrived responses.  With a bounded downstream
+  /// link the round stops early rather than blocking mid-instruction.
   void pump();
 
   /// True when no session holds unsent instructions.
@@ -71,12 +81,19 @@ class MultiHost {
  private:
   static constexpr std::size_t kNobody = ~std::size_t{0};
 
+  /// Who issued a live sequence number, and how many of its responses are
+  /// still due.  `session` returns to kNobody when the count hits zero.
+  struct SeqOwner {
+    std::size_t session = kNobody;
+    std::uint16_t remaining = 0;
+  };
+
   void route_responses();
 
   Coprocessor copro_;
   std::vector<std::unique_ptr<Session>> sessions_;
-  std::vector<std::size_t> seq_owner_;  ///< seq -> session id ring
-  std::uint16_t next_seq_ = 0;          ///< mirrors the decoder's counter
+  std::vector<SeqOwner> seq_owner_;  ///< seq -> issuing session ring
+  std::uint16_t next_seq_ = 0;       ///< mirrors the decoder's counter
   std::size_t rr_next_ = 0;
 };
 

@@ -135,6 +135,7 @@ void ReferenceModel::execute(const isa::Instruction& inst, std::uint16_t seq) {
             msg::Response r;
             r.type = msg::Response::Type::kData;
             r.seq = seq;
+            r.burst = i;
             r.payload = regs_[reg];
             responses_.push_back(r);
           } else {
@@ -149,6 +150,7 @@ void ReferenceModel::execute(const isa::Instruction& inst, std::uint16_t seq) {
             r.type = msg::Response::Type::kError;
             r.code = static_cast<std::uint8_t>(msg::ErrorCode::kBadRegister);
             r.seq = seq;
+            r.burst = i;
             r.payload = sub.encode();
             responses_.push_back(r);
           }

@@ -1,0 +1,228 @@
+#include "host/reliable_transport.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace fpgafu::host {
+
+ReliableTransport::ReliableTransport(Coprocessor& copro,
+                                     TransportConfig config)
+    : copro_(&copro),
+      config_(config),
+      reset_generation_(copro.system().simulator().reset_generation()),
+      retries_(stats_.handle("transport.retries")),
+      timeouts_(stats_.handle("transport.timeouts")),
+      gap_retries_(stats_.handle("transport.gap_retries")),
+      dup_dropped_(stats_.handle("transport.dup_dropped")),
+      stale_dropped_(stats_.handle("transport.stale_dropped")),
+      failures_(stats_.handle("transport.failures")) {}
+
+void ReliableTransport::sync_generation() {
+  const std::uint64_t gen = copro_->system().simulator().reset_generation();
+  if (gen != reset_generation_) {
+    reset_generation_ = gen;
+    next_wire_seq_ = 0;  // the decoder's counter restarted too
+  }
+}
+
+std::vector<msg::Response> ReliableTransport::call(
+    const isa::Program& program) {
+  sync_generation();
+  const std::vector<InstructionGroup> groups = split_groups(program);
+  const rtm::Rtm& rtm = copro_->system().rtm();
+
+  /// Per-group progress.  program_seq is the sequence number the reference
+  /// model assigns — the group index in program order (mod 2^16).
+  struct Slot {
+    ResponsePrediction pred;
+    std::uint16_t program_seq = 0;
+    std::vector<msg::Response> got;
+    bool done = false;
+  };
+  std::vector<Slot> slots(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    slots[i].pred = predict(groups[i].inst, rtm.config(), rtm.table());
+    slots[i].program_seq = static_cast<std::uint16_t>(i);
+    slots[i].done = slots[i].pred.count == 0;
+  }
+
+  /// Response-producing groups in flight, oldest first (wire order).
+  struct Outstanding {
+    std::size_t slot;
+    std::uint16_t wire_seq;
+    unsigned attempts;
+    std::uint64_t deadline;  ///< armed only while this entry is the front
+  };
+  std::deque<Outstanding> outstanding;
+
+  sim::Simulator& sim = copro_->system().simulator();
+  const std::uint64_t start = sim.cycle();
+  auto watchdog = [&] {
+    if (sim.cycle() - start >= config_.max_cycles) {
+      copro_->reset();
+      throw SimError("ReliableTransport: watchdog expired after " +
+                     std::to_string(config_.max_cycles) + " cycles");
+    }
+  };
+
+  auto timeout_for = [&](unsigned attempts) {
+    std::uint64_t t = config_.response_timeout;
+    // Cap the backoff at 64x so a long retry chain keeps probing instead
+    // of out-waiting the watchdog.
+    for (unsigned a = 1; a < attempts && a < 7; ++a) {
+      t *= config_.backoff_multiplier;
+    }
+    return t;
+  };
+  auto arm_front = [&] {
+    if (!outstanding.empty()) {
+      outstanding.front().deadline =
+          sim.cycle() + timeout_for(outstanding.front().attempts);
+    }
+  };
+
+  /// Send a group's words and (when it responds) enqueue it for tracking.
+  auto transmit = [&](std::size_t si, unsigned attempts) {
+    const std::uint16_t wire = next_wire_seq_++;
+    for (const isa::Word w : groups[si].words) {
+      copro_->submit_word(w);
+    }
+    if (slots[si].pred.count > 0) {
+      // Partial burst progress is kept across retries: the group is
+      // read-only (the write barrier holds back anything that could change
+      // what it reads), so the re-sent sub-responses it already has are
+      // byte-identical duplicates and the missing tail extends `got`.
+      const bool was_empty = outstanding.empty();
+      outstanding.push_back({si, wire, attempts, 0});
+      if (was_empty) {
+        arm_front();
+      }
+    }
+  };
+
+  /// Give up on (or re-submit) the front outstanding entry.
+  auto retry_entry = [&](sim::Counters::Handle reason) {
+    const Outstanding o = outstanding.front();
+    outstanding.pop_front();
+    arm_front();
+    stats_.bump(reason);
+    Slot& s = slots[o.slot];
+    if (!s.pred.retriable) {
+      // Cannot safely re-submit: report the loss as a transport error in
+      // the group's program-order position.
+      stats_.bump(failures_);
+      msg::Response r;
+      r.type = msg::Response::Type::kError;
+      r.code = static_cast<std::uint8_t>(msg::ErrorCode::kTransport);
+      r.seq = s.program_seq;
+      s.got.assign(1, r);
+      s.done = true;
+      return;
+    }
+    if (o.attempts >= config_.max_attempts) {
+      stats_.bump(failures_);
+      copro_->reset();
+      throw SimError("ReliableTransport: group " +
+                     std::to_string(o.slot) + " exhausted " +
+                     std::to_string(config_.max_attempts) + " attempts");
+    }
+    stats_.bump(retries_);
+    transmit(o.slot, o.attempts + 1);
+  };
+
+  auto handle_response = [&](const msg::Response& r) {
+    // Locate the outstanding entry this response belongs to.
+    std::size_t match = outstanding.size();
+    for (std::size_t j = 0; j < outstanding.size(); ++j) {
+      if (outstanding[j].wire_seq == r.seq) {
+        match = j;
+        break;
+      }
+    }
+    if (match == outstanding.size()) {
+      // A duplicate of an already-completed group or a late response from a
+      // superseded attempt.
+      stats_.bump(stale_dropped_);
+      return;
+    }
+    // In-order delivery: a response for entry `match` proves entries before
+    // it lost their remaining responses.  Retry them (they re-enter at the
+    // tail under fresh sequence numbers).
+    for (std::size_t j = 0; j < match; ++j) {
+      retry_entry(gap_retries_);
+    }
+    Outstanding& o = outstanding.front();
+    Slot& s = slots[o.slot];
+    if (r.burst < s.got.size()) {
+      stats_.bump(dup_dropped_);  // duplicated sub-response within a burst
+      return;
+    }
+    if (r.burst > s.got.size()) {
+      // A sub-response inside the burst went missing; re-read the whole
+      // group (sub-responses share one sequence number, so a partial retry
+      // could not be told apart from the lost originals).
+      retry_entry(gap_retries_);
+      return;
+    }
+    s.got.push_back(r);
+    if (s.got.size() >= s.pred.count) {
+      s.done = true;
+      outstanding.pop_front();
+      arm_front();
+    } else {
+      // Progress: the attempt counter tracks consecutive attempts that
+      // delivered nothing, so a long burst is not charged for earlier
+      // losses it has already recovered from.
+      o.attempts = 1;
+      o.deadline = sim.cycle() + timeout_for(o.attempts);
+    }
+  };
+
+  std::size_t next_group = 0;
+  while (next_group < groups.size() || !outstanding.empty()) {
+    watchdog();
+    // Submission phase.  Groups that mutate state wait behind the write
+    // barrier so no retry can ever observe a newer value.
+    while (next_group < groups.size()) {
+      const Slot& s = slots[next_group];
+      if (s.pred.count == 0 && !s.pred.retriable && !outstanding.empty()) {
+        break;  // write barrier
+      }
+      transmit(next_group, 1);
+      ++next_group;
+    }
+    while (auto r = copro_->poll()) {
+      handle_response(*r);
+    }
+    if (!outstanding.empty() && sim.cycle() >= outstanding.front().deadline) {
+      retry_entry(timeouts_);
+    }
+    if (next_group >= groups.size() && outstanding.empty()) {
+      break;
+    }
+    sim.step();
+  }
+
+  // Let trailing writes and stale duplicates drain so the system is idle
+  // for the caller (any response arriving now belongs to no live group).
+  sim.run_until(
+      [&] {
+        while (copro_->poll()) {
+          stats_.bump(stale_dropped_);
+        }
+        return copro_->system().idle();
+      },
+      config_.max_cycles);
+
+  std::vector<msg::Response> out;
+  for (Slot& s : slots) {
+    for (msg::Response r : s.got) {
+      r.seq = s.program_seq;  // renumber wire order back to program order
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace fpgafu::host

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/coprocessor.hpp"
+#include "host/framing.hpp"
+#include "sim/trace.hpp"
+
+namespace fpgafu::host {
+
+/// Tuning knobs for ReliableTransport.
+struct TransportConfig {
+  /// Cycles the oldest outstanding instruction may go unanswered before its
+  /// group is re-submitted (scaled by backoff on every further attempt).
+  std::uint64_t response_timeout = 2000;
+  /// Submission attempts per group before giving up.
+  unsigned max_attempts = 10;
+  /// Timeout multiplier applied per retry attempt.
+  std::uint64_t backoff_multiplier = 2;
+  /// Overall watchdog for one call().
+  std::uint64_t max_cycles = 20'000'000;
+};
+
+/// Reliable request/response layer over an unreliable upstream link.
+///
+/// Wraps a Coprocessor and recovers from lost, corrupted and duplicated
+/// *response* frames (the CRC-checked deframer in Coprocessor::poll turns
+/// corruption into loss; this layer turns loss into retries).  Loss on the
+/// downstream path is out of scope: instruction words carry no check codes,
+/// so a dropped downstream word shifts the 64-bit stream pairing for the
+/// rest of the run and no host-side protocol can detect it (docs/PROTOCOL.md
+/// discusses the limitation).
+///
+/// Mechanics (see docs/PROTOCOL.md for the full state machine):
+///  * the program is split into instruction groups; each group's response
+///    count is predicted host-side (host::predict), and the wire sequence
+///    number the decoder will assign is mirrored in next_wire_seq_;
+///  * response-producing groups enter an outstanding FIFO; because the RTM
+///    answers in issue order, a response matching a *later* entry proves
+///    every earlier entry's remaining responses were lost — they are
+///    re-submitted under fresh sequence numbers (gap detection);
+///  * within a GETV burst the `burst` index spots duplicated sub-responses
+///    (dropped) and intra-burst gaps (whole group re-submitted);
+///  * the oldest entry is also guarded by a timeout with exponential
+///    backoff, catching the tail case where nothing arrives at all;
+///  * groups that produce no responses (register writes) are submitted only
+///    once nothing is outstanding, so every prior read was confirmed before
+///    state mutates and re-submitting a read can never observe a newer
+///    write (write barrier);
+///  * results are re-numbered to *program-order* sequence numbers before
+///    being returned, so the output is bit-comparable with
+///    host::ReferenceModel::run on the same program.
+///
+/// The transport mirrors the decoder's sequence counter, so it must be the
+/// only submitter on its system (construct it before any traffic and route
+/// everything through it).  A system reset re-synchronises both counters.
+class ReliableTransport {
+ public:
+  explicit ReliableTransport(Coprocessor& copro, TransportConfig config = {});
+
+  /// Submit `program` and block until every expected response has been
+  /// received (retrying as needed).  Returns responses renumbered to
+  /// program order.  Throws SimError when a retriable group exhausts
+  /// max_attempts or the overall watchdog fires.
+  std::vector<msg::Response> call(const isa::Program& program);
+
+  /// transport.{retries,timeouts,gap_retries,dup_dropped,stale_dropped,
+  /// failures} statistics.
+  const sim::Counters& counters() const { return stats_; }
+
+  const TransportConfig& config() const { return config_; }
+  Coprocessor& coprocessor() { return *copro_; }
+
+ private:
+  /// Re-sync the mirrored sequence counter after a system reset.
+  void sync_generation();
+
+  Coprocessor* copro_;
+  TransportConfig config_;
+  std::uint16_t next_wire_seq_ = 0;  ///< mirrors the decoder's seq counter
+  std::uint64_t reset_generation_;
+  sim::Counters stats_;
+  sim::Counters::Handle retries_;
+  sim::Counters::Handle timeouts_;
+  sim::Counters::Handle gap_retries_;
+  sim::Counters::Handle dup_dropped_;
+  sim::Counters::Handle stale_dropped_;
+  sim::Counters::Handle failures_;
+};
+
+}  // namespace fpgafu::host

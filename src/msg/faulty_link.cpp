@@ -1,0 +1,56 @@
+#include "msg/faulty_link.hpp"
+
+namespace fpgafu::msg {
+
+namespace {
+constexpr std::uint64_t kPpmDenominator = 1'000'000;
+}  // namespace
+
+FaultyLink::FaultyLink(sim::Simulator& sim, std::string name,
+                       LinkTiming down_timing, LinkTiming up_timing,
+                       FaultConfig fault_config, std::size_t down_capacity,
+                       std::size_t up_capacity)
+    : Link(sim, std::move(name), down_timing, up_timing, down_capacity,
+           up_capacity),
+      config_(fault_config),
+      rng_(fault_config.seed) {
+  for (int dir = 0; dir < 2; ++dir) {
+    const std::string prefix = dir == 0 ? "link.down_" : "link.up_";
+    dropped_[dir] = counters_.handle(prefix + "dropped");
+    corrupted_[dir] = counters_.handle(prefix + "corrupted");
+    duplicated_[dir] = counters_.handle(prefix + "duplicated");
+  }
+}
+
+Link::Injection FaultyLink::classify(bool downstream, LinkWord& word) {
+  const FaultRates& r = downstream ? config_.down : config_.up;
+  const int dir = downstream ? 0 : 1;
+  Injection inj;
+  if (r.jitter_max != 0) {
+    inj.extra_latency = static_cast<std::uint32_t>(rng_.below(r.jitter_max + 1));
+  }
+  if (r.drop_ppm != 0 && rng_.chance(r.drop_ppm, kPpmDenominator)) {
+    inj.drop = true;
+    counters_.bump(dropped_[dir]);
+    return inj;
+  }
+  if (r.corrupt_ppm != 0 && rng_.chance(r.corrupt_ppm, kPpmDenominator)) {
+    word ^= LinkWord{1} << rng_.below(32);
+    counters_.bump(corrupted_[dir]);
+  } else if (r.duplicate_ppm != 0 &&
+             rng_.chance(r.duplicate_ppm, kPpmDenominator)) {
+    inj.duplicate = true;
+    counters_.bump(duplicated_[dir]);
+  }
+  return inj;
+}
+
+void FaultyLink::reset() {
+  Link::reset();
+  // Re-seed so a reset run replays the same fault pattern, and zero the
+  // statistics along with the base link's word counts.
+  rng_ = Xoshiro256(config_.seed);
+  counters_.clear();
+}
+
+}  // namespace fpgafu::msg

@@ -1,23 +1,57 @@
 #include "msg/link.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace fpgafu::msg {
 
 Link::Link(sim::Simulator& sim, std::string name, LinkTiming down_timing,
-           LinkTiming up_timing)
+           LinkTiming up_timing, std::size_t down_capacity,
+           std::size_t up_capacity)
     : Component(sim, std::move(name)),
       rx(sim),
       tx(sim),
       down_(down_timing),
-      up_(up_timing) {}
+      up_(up_timing),
+      down_capacity_(down_capacity),
+      up_capacity_(up_capacity) {}
 
-void Link::host_send(LinkWord word) {
+void Link::enqueue(std::deque<InFlight>& queue, LinkWord word,
+                   std::uint64_t arrives_at) {
+  if (!queue.empty()) {
+    arrives_at = std::max(arrives_at, queue.back().arrives_at);
+  }
+  queue.push_back({word, arrives_at});
+}
+
+bool Link::host_send(LinkWord word) {
+  if (down_capacity_ != 0 && down_queue_.size() >= down_capacity_) {
+    ++send_rejects_;
+    return false;
+  }
   // Rate-limit departures, then add flight latency.
   const std::uint64_t depart =
       std::max<std::uint64_t>(simulator().cycle(), down_next_slot_);
   down_next_slot_ = depart + down_.interval;
-  down_queue_.push_back({word, depart + down_.latency});
+  const Injection inj = classify(/*downstream=*/true, word);
+  if (!inj.drop) {
+    enqueue(down_queue_, word, depart + down_.latency + inj.extra_latency);
+    if (inj.duplicate) {
+      down_next_slot_ += down_.interval;
+      enqueue(down_queue_, word,
+              depart + down_.interval + down_.latency + inj.extra_latency);
+    }
+  }
+  return true;
+}
+
+std::size_t Link::host_space() const {
+  if (down_capacity_ == 0) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return down_queue_.size() >= down_capacity_
+             ? 0
+             : down_capacity_ - down_queue_.size();
 }
 
 std::optional<LinkWord> Link::host_receive() {
@@ -45,6 +79,10 @@ std::size_t Link::host_available() const {
 
 bool Link::drained() const { return down_queue_.empty() && up_queue_.empty(); }
 
+void Link::inject_upstream(LinkWord word) {
+  enqueue(up_queue_, word, simulator().cycle());
+}
+
 void Link::eval() {
   // Downstream: present the head word to the FPGA once it has "arrived" at
   // the FPGA-side pins.
@@ -55,8 +93,9 @@ void Link::eval() {
     rx.withdraw();
   }
   // Upstream: the transmitter accepts a new word when the previous one has
-  // cleared the serialisation interval.
-  tx.ready.set(simulator().cycle() >= up_next_slot_);
+  // cleared the serialisation interval and the bounded buffer has room.
+  tx.ready.set(simulator().cycle() >= up_next_slot_ &&
+               (up_capacity_ == 0 || up_queue_.size() < up_capacity_));
 }
 
 void Link::commit() {
@@ -67,8 +106,17 @@ void Link::commit() {
   if (tx.fire()) {
     const std::uint64_t now = simulator().cycle();
     up_next_slot_ = now + up_.interval;
-    up_queue_.push_back({tx.data.get(), now + up_.latency});
     ++words_up_;
+    LinkWord word = tx.data.get();
+    const Injection inj = classify(/*downstream=*/false, word);
+    if (!inj.drop) {
+      enqueue(up_queue_, word, now + up_.latency + inj.extra_latency);
+      if (inj.duplicate) {
+        up_next_slot_ += up_.interval;
+        enqueue(up_queue_, word,
+                now + up_.interval + up_.latency + inj.extra_latency);
+      }
+    }
   }
 }
 
@@ -79,6 +127,7 @@ void Link::reset() {
   up_next_slot_ = 0;
   words_down_ = 0;
   words_up_ = 0;
+  send_rejects_ = 0;
   rx.reset();
   tx.reset();
 }

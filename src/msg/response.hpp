@@ -23,6 +23,9 @@ enum class ErrorCode : std::uint8_t {
   kUnknownFunction = 1,  ///< no functional unit registered for the code
   kBadRegister = 2,      ///< register number exceeds the configured file size
   kTruncatedPut = 3,     ///< stream ended before a PUT's data word
+  kTransport = 4,        ///< synthesised by host::ReliableTransport: the
+                         ///< response was lost and the instruction could
+                         ///< not be safely re-submitted
 };
 
 /// One message from the coprocessor back to the host.  The message encoder
@@ -41,18 +44,33 @@ struct Response {
   std::uint8_t code = 0;  ///< flag vector or error code
   std::uint16_t seq = 0;  ///< response sequence number (issue order)
   isa::Word payload = 0;
+  /// Sub-response index within a GETV burst (all sub-responses share the
+  /// header instruction's seq; this field disambiguates them so the host
+  /// can detect a duplicated or missing sub-response).  0 outside bursts.
+  std::uint16_t burst = 0;
 
   bool operator==(const Response&) const = default;
 
-  /// Serialise to the three link words the message serialiser transmits:
-  /// header {type, code, seq}, payload high half, payload low half.
-  std::array<LinkWord, 3> to_link_words() const;
+  /// Serialise to the four link words the message serialiser transmits:
+  /// header {type, code, seq}, payload high half, payload low half, and a
+  /// check word {burst index, CRC-16 over the preceding three words and
+  /// the burst index}.
+  std::array<LinkWord, 4> to_link_words() const;
 
-  /// Reassemble from three link words (host-side deframer).
-  static Response from_link_words(const std::array<LinkWord, 3>& words);
+  /// Reassemble from four link words (host-side deframer).  Does not
+  /// validate; call frame_ok() first when the words came off a real link.
+  static Response from_link_words(const std::array<LinkWord, 4>& words);
+
+  /// True when the frame's check word matches its contents — a corrupted,
+  /// torn or misaligned frame fails this with probability ~1 - 2^-16.
+  static bool frame_ok(const std::array<LinkWord, 4>& words);
+
+  /// The check word for a frame: (burst << 16) | crc16.
+  static LinkWord check_word(LinkWord header, LinkWord payload_hi,
+                             LinkWord payload_lo, std::uint16_t burst);
 };
 
-inline constexpr unsigned kLinkWordsPerResponse = 3;
+inline constexpr unsigned kLinkWordsPerResponse = 4;
 
 std::string to_string(const Response& r);
 

@@ -14,6 +14,7 @@ struct DecodedInst {
   isa::Word inline_data = 0;  ///< PUT's following stream word
   bool has_inline = false;
   std::uint16_t seq = 0;      ///< instruction sequence number (issue order)
+  std::uint16_t burst = 0;    ///< sub-read index within a GETV expansion
   msg::ErrorCode error = msg::ErrorCode::kNone;  ///< decode-time fault
 
   bool operator==(const DecodedInst&) const = default;

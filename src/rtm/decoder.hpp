@@ -187,6 +187,7 @@ class Decoder : public sim::Component {
     di.inst.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
     di.inst.src1 = static_cast<isa::RegNum>(reg);
     di.seq = vec_seq_;
+    di.burst = vec_index_;
     di.error = reg < regs_->size() ? msg::ErrorCode::kNone
                                    : msg::ErrorCode::kBadRegister;
     held_ = di;

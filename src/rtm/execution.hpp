@@ -101,6 +101,7 @@ class Execution : public sim::Component {
       a.response.type = msg::Response::Type::kError;
       a.response.code = static_cast<std::uint8_t>(p.di.error);
       a.response.seq = p.di.seq;
+      a.response.burst = p.di.burst;
       a.response.payload = inst.encode();
       return a;
     }
@@ -138,6 +139,7 @@ class Execution : public sim::Component {
         a.respond = true;
         a.response.type = msg::Response::Type::kData;
         a.response.seq = p.di.seq;
+        a.response.burst = p.di.burst;
         a.response.payload = p.src1_value;
         break;
       case RtmOp::kGetFlags:

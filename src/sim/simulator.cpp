@@ -64,6 +64,7 @@ void Simulator::reset() {
     c->reset();
   }
   cycle_ = 0;
+  ++reset_generation_;
   max_settle_ = 0;
   // Drop dirty state so a stray Wire::set between reset() and the first
   // step() cannot leak a stale flag or queue entry into the first settle.

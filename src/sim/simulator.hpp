@@ -83,6 +83,12 @@ class Simulator {
   /// Cycles since construction or last reset().
   std::uint64_t cycle() const { return cycle_; }
 
+  /// Incremented by every reset().  Host-side software (which holds state
+  /// *outside* the component tree, e.g. partially deframed responses)
+  /// compares this against a remembered value to notice that the hardware
+  /// was reset underneath it.
+  std::uint64_t reset_generation() const { return reset_generation_; }
+
   /// Select the settle kernel.  Call only at a cycle boundary (between
   /// steps); the dirty queue of a half-settled cycle does not transfer.
   void set_kernel(Kernel kernel) { kernel_ = kernel; }
@@ -132,6 +138,7 @@ class Simulator {
   std::vector<Component*> work_;   ///< pass currently being drained
   Component* reading_ = nullptr;   ///< component whose eval() is running
   std::uint64_t cycle_ = 0;
+  std::uint64_t reset_generation_ = 0;
   std::uint64_t evals_ = 0;
   bool changed_ = false;
   bool requeue_all_ = false;  ///< set by note_change(): untracked change

@@ -54,6 +54,30 @@ constexpr bool fits_unsigned(std::uint64_t value, unsigned width) {
   return width >= 64 || value <= mask(width);
 }
 
+/// CRC-16/CCITT-FALSE step (polynomial 0x1021, MSB first).  Used by the
+/// host link framing: small enough to synthesise as a byte-serial LFSR next
+/// to the message serialiser, strong enough to catch the single-bit upsets
+/// and torn frames the transport layer must detect.
+constexpr std::uint16_t crc16_byte(std::uint16_t crc, std::uint8_t byte) {
+  crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(byte) << 8));
+  for (int i = 0; i < 8; ++i) {
+    crc = (crc & 0x8000u) != 0
+              ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+              : static_cast<std::uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+/// Fold a 32-bit word into a CRC-16, most significant byte first (matching
+/// the link's MSW-first transmission order).
+constexpr std::uint16_t crc16_word(std::uint16_t crc, std::uint32_t word) {
+  crc = crc16_byte(crc, static_cast<std::uint8_t>(word >> 24));
+  crc = crc16_byte(crc, static_cast<std::uint8_t>(word >> 16));
+  crc = crc16_byte(crc, static_cast<std::uint8_t>(word >> 8));
+  crc = crc16_byte(crc, static_cast<std::uint8_t>(word));
+  return crc;
+}
+
 /// ceil(log2(n)) for n >= 1: the number of address bits needed to index n
 /// items.  Mirrors the VHDL idiom used for sizing register-number fields.
 constexpr unsigned clog2(std::uint64_t n) {

@@ -1,0 +1,170 @@
+#include "host/reliable_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/reference_model.hpp"
+#include "support/program_gen.hpp"
+#include "util/error.hpp"
+
+namespace fpgafu::host {
+namespace {
+
+rtm::RtmConfig small_rtm() {
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 12;
+  rcfg.flag_regs = 4;
+  return rcfg;
+}
+
+/// The host-side prediction must agree with the reference model on the
+/// response count of every instruction, across random programs including
+/// deliberate faults.
+TEST(Framing, PredictMatchesReferenceModelCounts) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  top::System sys(cfg);  // provides the attached-unit table
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const isa::Program p = fpgafu::testing::random_program(
+        small_rtm(), seed, {.instructions = 50, .include_errors = true});
+    std::size_t predicted = 0;
+    for (const InstructionGroup& g : split_groups(p)) {
+      predicted += predict(g.inst, sys.rtm().config(), sys.rtm().table()).count;
+    }
+    const auto expected = ReferenceModel(small_rtm()).run(p);
+    EXPECT_EQ(predicted, expected.size()) << "seed " << seed;
+  }
+}
+
+TEST(ReliableTransport, CleanLinkIsAPassthrough) {
+  // Fresh machine per program: the reference model starts from zeroed
+  // registers.
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    top::SystemConfig cfg;
+    cfg.rtm = small_rtm();
+    top::System sys(cfg);
+    Coprocessor copro(sys);
+    ReliableTransport transport(copro);
+    const isa::Program p = fpgafu::testing::random_program(
+        small_rtm(), seed, {.instructions = 30});
+    const auto got = transport.call(p);
+    const auto expected = ReferenceModel(small_rtm()).run(p);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+    EXPECT_EQ(transport.counters().get("transport.retries"), 0u);
+    EXPECT_EQ(transport.counters().get("transport.timeouts"), 0u);
+    EXPECT_EQ(transport.counters().get("transport.failures"), 0u);
+  }
+}
+
+TEST(ReliableTransport, RecoversFromUpstreamFaults) {
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_retries = 0;
+  for (std::uint64_t seed = 31; seed <= 35; ++seed) {
+    top::SystemConfig cfg;
+    cfg.rtm = small_rtm();
+    msg::FaultConfig f;
+    f.seed = seed;
+    f.up.drop_ppm = 40'000;
+    f.up.corrupt_ppm = 40'000;
+    f.up.duplicate_ppm = 40'000;
+    cfg.link_faults = f;
+    top::System sys(cfg);
+    Coprocessor copro(sys);
+    TransportConfig tcfg;
+    tcfg.response_timeout = 500;
+    ReliableTransport transport(copro, tcfg);
+
+    const isa::Program p = fpgafu::testing::random_program(
+        small_rtm(), seed, {.instructions = 25});
+    const auto got = transport.call(p);
+    const auto expected = ReferenceModel(small_rtm()).run(p);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+    EXPECT_EQ(transport.counters().get("transport.failures"), 0u);
+    total_faults += sys.faulty_link()->fault_counters().get("link.up_dropped") +
+                    sys.faulty_link()->fault_counters().get("link.up_corrupted");
+    total_retries += transport.counters().get("transport.retries");
+  }
+  // At these rates faults certainly occurred and were recovered from.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(ReliableTransport, GivesUpAfterMaxAttempts) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  msg::FaultConfig f;
+  f.up.drop_ppm = 1'000'000;  // the FPGA's answers never get through
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  TransportConfig tcfg;
+  tcfg.response_timeout = 50;
+  tcfg.max_attempts = 3;
+  ReliableTransport transport(copro, tcfg);
+
+  isa::Program p;
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 1;
+  p.emit(get);
+  EXPECT_THROW(transport.call(p), SimError);
+  EXPECT_EQ(transport.counters().get("transport.retries"), 2u);
+  EXPECT_EQ(transport.counters().get("transport.failures"), 1u);
+}
+
+/// Regression for the frame-state reset hole: a system reset (or watchdog
+/// abort) used to leave partially deframed link words in the driver, so the
+/// next exchange reassembled responses shifted by the leftover words.
+TEST(Coprocessor, ResetMidFrameDiscardsPartialFrame) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  cfg.link_up = {1, 16};  // response words trickle out 16 cycles apart
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+
+  copro.write_reg(3, 42);
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 3;
+  copro.submit_word(get.encode());
+  // Let exactly part of the 4-word response frame reach the driver.
+  sys.simulator().run_until([&] { return sys.link().host_available() == 2; },
+                            100000);
+  EXPECT_FALSE(copro.poll().has_value());  // 2 words now buffered host-side
+
+  sys.simulator().reset();
+  sys.rtm().clear_state();
+
+  // The driver must notice the reset and discard the torn frame; the next
+  // exchange must parse cleanly.
+  copro.write_reg(5, 77);
+  EXPECT_EQ(copro.read_reg(5), 77u);
+}
+
+/// A watchdog timeout mid-call leaves an unknown amount of a frame
+/// consumed; the driver clears its window so later exchanges stay aligned.
+TEST(Coprocessor, WatchdogMidCallRealignsFraming) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  cfg.link_up = {1, 40};  // slow enough that a tight deadline splits a frame
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+
+  copro.write_reg(2, 9);
+  isa::Program p;
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 2;
+  p.emit(get);
+  EXPECT_THROW(copro.call(p, /*max_cycles=*/60), SimError);
+
+  // The remaining words of the aborted frame still arrive and mix with the
+  // next response's frame; the CRC window must slide past them.
+  const isa::Word v = copro.read_reg(2);
+  EXPECT_EQ(v, 9u);
+}
+
+}  // namespace
+}  // namespace fpgafu::host

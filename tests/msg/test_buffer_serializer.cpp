@@ -87,11 +87,12 @@ TEST(MessageSerializer, SplitsResponsesToLinkWords) {
   sim.run(400);
 
   std::vector<Response> got;
-  std::array<LinkWord, 3> frame{};
+  std::array<LinkWord, kLinkWordsPerResponse> frame{};
   unsigned have = 0;
   while (auto w = link.host_receive()) {
     frame[have++] = *w;
     if (have == kLinkWordsPerResponse) {
+      EXPECT_TRUE(Response::frame_ok(frame));
       got.push_back(Response::from_link_words(frame));
       have = 0;
     }
@@ -112,11 +113,11 @@ TEST(MessageSerializer, BackpressureFromSlowLink) {
     r.seq = static_cast<std::uint16_t>(i);
     prod.push(r);
   }
-  // 8 responses * 3 link words * 16 cycles/word ~= 384 cycles; after only
+  // 8 responses * 4 link words * 16 cycles/word ~= 512 cycles; after only
   // 100 cycles the producer must still be blocked on the serialiser.
   sim.run(100);
   EXPECT_LT(prod.sent(), 8u);
-  sim.run(400);
+  sim.run(600);
   EXPECT_EQ(prod.sent(), 8u);
 }
 

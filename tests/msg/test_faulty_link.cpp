@@ -1,0 +1,204 @@
+#include "msg/faulty_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/coprocessor.hpp"
+#include "host/reference_model.hpp"
+#include "support/handshake_harness.hpp"
+#include "support/program_gen.hpp"
+#include "top/system.hpp"
+
+namespace fpgafu::msg {
+namespace {
+
+rtm::RtmConfig small_rtm() {
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 12;
+  rcfg.flag_regs = 4;
+  return rcfg;
+}
+
+/// A FaultyLink with every rate at zero must be indistinguishable from the
+/// plain Link: same responses, same cycle counts, same word counts, and no
+/// fault counter may tick.
+TEST(FaultyLink, ZeroRatesAreBitIdenticalToPlainLink) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const isa::Program p = fpgafu::testing::random_program(
+        small_rtm(), seed, {.instructions = 40});
+
+    top::SystemConfig plain_cfg;
+    plain_cfg.rtm = small_rtm();
+    plain_cfg.link_down = kSerialLink.timing;
+    plain_cfg.link_up = kSerialLink.timing;
+    top::System plain(plain_cfg);
+    host::Coprocessor plain_host(plain);
+    const auto plain_responses = plain_host.call(p);
+    const std::uint64_t plain_cycles = plain.simulator().cycle();
+
+    top::SystemConfig faulty_cfg = plain_cfg;
+    faulty_cfg.link_faults = FaultConfig{};  // all rates zero
+    top::System faulty(faulty_cfg);
+    ASSERT_NE(faulty.faulty_link(), nullptr);
+    host::Coprocessor faulty_host(faulty);
+    const auto faulty_responses = faulty_host.call(p);
+
+    EXPECT_EQ(faulty_responses, plain_responses) << "seed " << seed;
+    EXPECT_EQ(faulty.simulator().cycle(), plain_cycles) << "seed " << seed;
+    EXPECT_EQ(faulty.link().words_down(), plain.link().words_down());
+    EXPECT_EQ(faulty.link().words_up(), plain.link().words_up());
+    for (const auto& [name, value] : faulty.faulty_link()->fault_counters().all()) {
+      EXPECT_EQ(value, 0u) << name;
+    }
+  }
+}
+
+TEST(FaultyLink, FullUpstreamDropDeliversNothing) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  FaultConfig f;
+  f.up.drop_ppm = 1'000'000;
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  host::Coprocessor copro(sys);
+
+  isa::Program p;
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 2;
+  p.emit(get);
+  copro.submit(p);
+  sys.simulator().run(300);
+  EXPECT_FALSE(copro.poll().has_value());
+  EXPECT_GE(sys.faulty_link()->fault_counters().get("link.up_dropped"), 4u);
+  EXPECT_EQ(sys.faulty_link()->fault_counters().get("link.down_dropped"), 0u);
+}
+
+TEST(FaultyLink, FullUpstreamCorruptionIsCaughtByTheFrameCheck) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  FaultConfig f;
+  f.up.corrupt_ppm = 1'000'000;
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  host::Coprocessor copro(sys);
+
+  isa::Program p;
+  for (int i = 0; i < 4; ++i) {
+    isa::Instruction get;
+    get.function = isa::fc::kRtm;
+    get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+    get.src1 = static_cast<isa::RegNum>(i);
+    p.emit(get);
+  }
+  copro.submit(p);
+  sys.simulator().run(400);
+  // Every link word was bit-flipped: no frame may parse, and the deframer
+  // must have slid its window looking for alignment.
+  EXPECT_FALSE(copro.poll().has_value());
+  EXPECT_GE(sys.faulty_link()->fault_counters().get("link.up_corrupted"), 16u);
+  EXPECT_GT(copro.counters().get("host.crc_resyncs"), 0u);
+}
+
+TEST(FaultyLink, DuplicationDoublesDeliveredWords) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  FaultConfig f;
+  f.up.duplicate_ppm = 1'000'000;
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  host::Coprocessor copro(sys);
+
+  isa::Program p;
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 1;
+  p.emit(get);
+  copro.submit(p);
+  sys.simulator().run(300);
+  // One response = 4 frame words, each sent twice.
+  EXPECT_EQ(sys.link().host_available(), 8u);
+  EXPECT_EQ(sys.faulty_link()->fault_counters().get("link.up_duplicated"), 4u);
+}
+
+TEST(FaultyLink, SameSeedReplaysTheSameFaultPattern) {
+  const isa::Program p = fpgafu::testing::random_program(
+      small_rtm(), 11, {.instructions = 20});
+  auto run_once = [&] {
+    top::SystemConfig cfg;
+    cfg.rtm = small_rtm();
+    FaultConfig f;
+    f.seed = 99;
+    f.down.jitter_max = 3;
+    f.up.jitter_max = 3;
+    f.up.duplicate_ppm = 100'000;
+    cfg.link_faults = f;
+    top::System sys(cfg);
+    host::Coprocessor copro(sys);
+    copro.submit(p);
+    sys.simulator().run(5000);
+    std::vector<LinkWord> words;
+    while (auto w = sys.link().host_receive()) {
+      words.push_back(*w);
+    }
+    return words;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultyLink, JitterNeverReordersTheStream) {
+  // Heavy jitter, no loss: the response stream must arrive intact and in
+  // order (arrival times are clamped monotonic).
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  FaultConfig f;
+  f.up.jitter_max = 9;
+  f.down.jitter_max = 9;
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  host::Coprocessor copro(sys);
+  const isa::Program p = fpgafu::testing::random_program(
+      small_rtm(), 17, {.instructions = 30});
+  const auto responses = copro.call(p);
+  const auto expected = host::ReferenceModel(small_rtm()).run(p);
+  EXPECT_EQ(responses, expected);
+}
+
+TEST(Link, BoundedDownstreamQueueRejectsWhenFull) {
+  sim::Simulator sim;
+  Link link(sim, "link", {1, 1}, {1, 1}, /*down_capacity=*/2,
+            /*up_capacity=*/0);
+  // Nothing consumes rx, so the queue only fills.
+  EXPECT_TRUE(link.host_ready());
+  EXPECT_EQ(link.host_space(), 2u);
+  EXPECT_TRUE(link.host_send(1));
+  EXPECT_TRUE(link.host_send(2));
+  EXPECT_EQ(link.host_space(), 0u);
+  EXPECT_FALSE(link.host_ready());
+  EXPECT_FALSE(link.host_send(3));
+  EXPECT_EQ(link.send_rejects(), 1u);
+}
+
+TEST(Link, BoundedUpstreamQueueBackpressuresTheTransmitter) {
+  sim::Simulator sim;
+  Link link(sim, "link", {1, 1}, {1, 1}, /*down_capacity=*/0,
+            /*up_capacity=*/1);
+  fpgafu::testing::Producer<LinkWord> prod(sim, "prod", {});
+  prod.bind(link.tx);
+  for (LinkWord w = 0; w < 4; ++w) {
+    prod.push(w);
+  }
+  sim.run(50);
+  // The host never receives, so only one word fits the bounded buffer.
+  EXPECT_EQ(prod.sent(), 1u);
+  EXPECT_EQ(link.host_receive(), std::optional<LinkWord>{0});
+  sim.run(50);
+  EXPECT_EQ(prod.sent(), 2u);
+}
+
+}  // namespace
+}  // namespace fpgafu::msg

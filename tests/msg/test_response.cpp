@@ -17,8 +17,11 @@ TEST(Response, LinkWordRoundTrip) {
     r.type = types[rng.below(4)];
     r.code = static_cast<std::uint8_t>(rng.below(256));
     r.seq = static_cast<std::uint16_t>(rng.below(65536));
+    r.burst = static_cast<std::uint16_t>(rng.below(256));
     r.payload = rng.next();
-    EXPECT_EQ(Response::from_link_words(r.to_link_words()), r);
+    const auto words = r.to_link_words();
+    EXPECT_TRUE(Response::frame_ok(words));
+    EXPECT_EQ(Response::from_link_words(words), r);
   }
 }
 
@@ -27,11 +30,48 @@ TEST(Response, HeaderLayout) {
   r.type = Response::Type::kError;
   r.code = 0x12;
   r.seq = 0x3456;
+  r.burst = 0x789a;
   r.payload = 0xaabbccdd00112233ULL;
   const auto words = r.to_link_words();
   EXPECT_EQ(words[0], 0x7f123456u);
   EXPECT_EQ(words[1], 0xaabbccddu);
   EXPECT_EQ(words[2], 0x00112233u);
+  // Check word: burst index in the high half, CRC-16 in the low half.
+  EXPECT_EQ(words[3] >> 16, 0x789au);
+  EXPECT_EQ(words[3],
+            Response::check_word(words[0], words[1], words[2], 0x789a));
+}
+
+TEST(Response, SingleBitCorruptionFailsTheCheck) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    Response r;
+    r.type = Response::Type::kData;
+    r.seq = static_cast<std::uint16_t>(rng.below(65536));
+    r.burst = static_cast<std::uint16_t>(rng.below(16));
+    r.payload = rng.next();
+    auto words = r.to_link_words();
+    words[rng.below(4)] ^= LinkWord{1} << rng.below(32);
+    EXPECT_FALSE(Response::frame_ok(words));
+  }
+}
+
+TEST(Response, TornFrameFailsTheCheck) {
+  // A dropped link word shifts the window by one: the deframer sees the
+  // tail of one frame followed by the head of the next.  That misaligned
+  // window must not check out.
+  Response a, b;
+  a.type = Response::Type::kData;
+  a.seq = 1;
+  a.payload = 0x1111111122222222ULL;
+  b.type = Response::Type::kData;
+  b.seq = 2;
+  b.payload = 0x3333333344444444ULL;
+  const auto wa = a.to_link_words();
+  const auto wb = b.to_link_words();
+  // Window starting at wa[1] (wa[0] was dropped in flight).
+  const std::array<LinkWord, 4> torn{wa[1], wa[2], wa[3], wb[0]};
+  EXPECT_FALSE(Response::frame_ok(torn));
 }
 
 TEST(Response, ToStringNamesType) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "isa/assembler.hpp"
+#include "util/error.hpp"
 
 namespace fpgafu::host {
 namespace {
@@ -157,6 +158,111 @@ TEST(MultiHost, FuzzedInterleavingPreservesPerSessionStreams) {
           << "session " << s << " response " << i;
     }
   }
+}
+
+TEST(MultiHost, BoundedLinkRoundRobinStaysFair) {
+  // Regression for the rotation bug: when a round ended early because the
+  // downstream link was full, the next round resumed after the session the
+  // round *intended* to reach, not after the last session actually served —
+  // starving whichever loaded session sat just past the stall point.  With
+  // a link that only fits one instruction at a time, two loaded sessions
+  // must drain in lockstep.
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 8;
+  top::SystemConfig cfg;
+  cfg.rtm = rcfg;
+  cfg.link_down_capacity = 2;  // one GET (2 link words) fits at a time
+  top::System sys(cfg);
+  MultiHost mux(sys);
+  auto& a = mux.create_session();
+  auto& b = mux.create_session();  // stays empty: the skip must not unbalance
+  auto& c = mux.create_session();
+
+  constexpr std::size_t kGets = 24;
+  auto gets = [](isa::RegNum reg) {
+    isa::Program p;
+    for (std::size_t i = 0; i < kGets; ++i) {
+      isa::Instruction get;
+      get.function = isa::fc::kRtm;
+      get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+      get.src1 = reg;
+      p.emit(get);
+    }
+    return p;
+  };
+  a.submit(gets(1));
+  c.submit(gets(2));
+
+  std::size_t a_got = 0, c_got = 0;
+  sys.simulator().run_until(
+      [&] {
+        mux.pump();
+        const std::size_t pa = a.pending_count();
+        const std::size_t pc = c.pending_count();
+        EXPECT_LE(pa > pc ? pa - pc : pc - pa, 1u)
+            << "a=" << pa << " c=" << pc;
+        while (a.poll()) ++a_got;
+        while (b.poll()) ADD_FAILURE() << "response routed to idle session";
+        while (c.poll()) ++c_got;
+        return a_got == kGets && c_got == kGets;
+      },
+      100000);
+  EXPECT_EQ(a_got, kGets);
+  EXPECT_EQ(c_got, kGets);
+}
+
+TEST(MultiHost, SequenceWrapReleasesOwnershipEntries) {
+  // Regression for the routing-table leak: owner entries were never
+  // released, so after the 16-bit sequence counter wrapped, a stale or
+  // duplicated response silently landed in whichever session owned that
+  // number an epoch earlier.  Now the entry is freed once its predicted
+  // responses have been routed, and the stale response trips the check.
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 8;
+  top::SystemConfig cfg;
+  cfg.rtm = rcfg;
+  top::System sys(cfg);
+  MultiHost mux(sys);
+  auto& s = mux.create_session();
+
+  constexpr std::size_t kGets = 300;
+  isa::Program p;
+  for (std::size_t i = 0; i < kGets; ++i) {
+    isa::Instruction get;
+    get.function = isa::fc::kRtm;
+    get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+    get.src1 = 1;
+    p.emit(get);
+  }
+  const auto responses = s.call(p, 2'000'000);
+  ASSERT_EQ(responses.size(), kGets);  // seqs 0..299 routed and released
+
+  // Push the host-side sequence counter through the full 16-bit space with
+  // response-less NOPs (the link queue is unbounded, so pumping needs no
+  // sim time).
+  isa::Program nops;
+  isa::Instruction nop;
+  nop.function = isa::fc::kRtm;
+  nop.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kNop);
+  for (std::size_t i = 0; i < (std::size_t{1} << 16) - kGets; ++i) {
+    nops.emit(nop);
+  }
+  s.submit(nops);
+  while (s.has_pending_instructions()) {
+    mux.pump();
+  }
+
+  // Forge a duplicate of response seq 150 from the first epoch.  Its owner
+  // entry was released when the real response was routed, so the duplicate
+  // must be detected rather than delivered.
+  msg::Response dup;
+  dup.type = msg::Response::Type::kData;
+  dup.seq = 150;
+  dup.payload = 0xdead;
+  for (const msg::LinkWord w : dup.to_link_words()) {
+    sys.link().inject_upstream(w);
+  }
+  EXPECT_THROW(mux.pump(), SimError);
 }
 
 TEST(MultiHost, ErrorResponsesRouteToTheFaultingSession) {
