@@ -1,0 +1,120 @@
+// Experiment E10: multi-System coprocessor farm throughput scaling.
+//
+// The paper's arrangement is "one or more CPUs communicate via the
+// interface with a set of functional units"; host::Farm scales that out to
+// N independent System shards, one worker thread each.  Because shards
+// share nothing (each owns its whole simulated fabric), aggregate program
+// throughput should scale near-linearly with shards up to the core count —
+// this bench measures programs/second for 1..hardware_concurrency shards
+// and cross-checks every shard's responses bit-identically against
+// host::ReferenceModel.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "host/farm.hpp"
+#include "host/reference_model.hpp"
+#include "isa/assembler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fpgafu;
+
+/// Self-contained job: writes every register it reads, so its response
+/// stream is reference-checkable no matter what earlier jobs left in the
+/// shard's register file.  ~56 instructions of PUT/ALU/GET traffic.
+isa::Program farm_job(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string src;
+  for (int round = 0; round < 8; ++round) {
+    for (int r = 1; r <= 4; ++r) {
+      src += "PUT r" + std::to_string(r) + ", #" +
+             std::to_string(rng.below(1u << 20)) + "\n";
+    }
+    src += "ADD r5, r1, r2\nSUB r6, r3, r4\nADD r7, r5, r6\n";
+    src += "GET r5\nGET r6\nGET r7\n";
+  }
+  return isa::Assembler::assemble(src);
+}
+
+constexpr std::uint64_t kJobSeeds = 16;
+constexpr std::size_t kJobsPerIteration = 64;
+
+/// Aggregate throughput at `state.range(0)` shards.  Every response is
+/// compared against the reference model — a mismatch aborts the bench.
+void BM_FarmThroughput(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  host::FarmConfig fc;
+  fc.shards = shards;
+  fc.queue_capacity = 2 * kJobsPerIteration;
+  host::Farm farm(fc);
+
+  std::vector<isa::Program> programs;
+  std::vector<std::vector<msg::Response>> expected;
+  for (std::uint64_t s = 0; s < kJobSeeds; ++s) {
+    programs.push_back(farm_job(0xfa12'0000 + s));
+    expected.push_back(
+        host::ReferenceModel(top::SystemConfig{}.rtm).run(programs.back()));
+  }
+
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    std::vector<std::future<std::vector<msg::Response>>> futures;
+    futures.reserve(kJobsPerIteration);
+    for (std::size_t i = 0; i < kJobsPerIteration; ++i) {
+      futures.push_back(farm.submit(programs[i % kJobSeeds]));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      if (futures[i].get() != expected[i % kJobSeeds]) {
+        state.SkipWithError("farm response diverged from ReferenceModel");
+        return;
+      }
+    }
+    jobs += futures.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+
+void register_shard_sweep() {
+  auto* b = benchmark::RegisterBenchmark("BM_FarmThroughput", BM_FarmThroughput)
+                ->Unit(benchmark::kMillisecond)
+                ->UseRealTime()
+                ->MeasureProcessCPUTime();
+  // Sweep powers of two up to the core count, but always cover at least
+  // 1/2/4 shards so the multi-shard paths are exercised even on small
+  // runners (scaling past the core count is not expected there).
+  const unsigned hw = std::max(4u, std::thread::hardware_concurrency());
+  for (unsigned s = 1; s <= hw; s *= 2) {
+    b->Arg(static_cast<long>(s));
+  }
+  if ((hw & (hw - 1)) != 0) {
+    b->Arg(static_cast<long>(hw));  // include the exact core count too
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fpgafu::bench::section(
+      "E10", "farm throughput scaling (programs/s vs shard count)");
+  fpgafu::bench::note(
+      "every job's responses are checked bit-identical against "
+      "host::ReferenceModel; items_per_second is aggregate programs/s");
+  fpgafu::bench::note("hardware_concurrency = " +
+                      std::to_string(std::thread::hardware_concurrency()));
+  register_shard_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

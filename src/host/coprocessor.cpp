@@ -1,79 +1,31 @@
 #include "host/coprocessor.hpp"
 
-#include <array>
-
 #include "isa/rtm_ops.hpp"
 #include "util/error.hpp"
 
 namespace fpgafu::host {
 
-void Coprocessor::sync_reset() {
-  const std::uint64_t gen = system_->simulator().reset_generation();
-  if (gen != reset_generation_) {
-    reset_generation_ = gen;
-    rx_words_.clear();
-  }
-}
-
-void Coprocessor::pump_rx() {
-  while (auto w = system_->link().host_receive()) {
-    rx_words_.push_back(*w);
-  }
-}
-
-void Coprocessor::send_link_word(msg::LinkWord word) {
-  sync_reset();
-  while (!system_->link().host_send(word)) {
-    // Bounded downstream buffer is full: let the FPGA drain a word.  Keep
-    // pulling arrived responses off the link meanwhile so a bounded
-    // upstream buffer cannot deadlock the exchange.
-    system_->simulator().step();
-    pump_rx();
-  }
-}
-
 void Coprocessor::submit_word(isa::Word word) {
-  send_link_word(static_cast<msg::LinkWord>(word >> 32));
-  send_link_word(static_cast<msg::LinkWord>(word & 0xffffffffu));
+  driver_.enqueue_word(word);
+  // The submit path has no cycle budget of its own (it is bounded by the
+  // link draining, exactly as the historical per-word spin was); a wedged
+  // link below a blocking call is caught by that call's Deadline instead.
+  pump_.flush(Deadline::unbounded(system().simulator()),
+              "Coprocessor::submit_word");
 }
 
 void Coprocessor::submit(const isa::Program& program) {
-  for (const isa::Word w : program.words()) {
-    submit_word(w);
-  }
+  driver_.enqueue(program);
+  pump_.flush(Deadline::unbounded(system().simulator()),
+              "Coprocessor::submit");
 }
-
-std::optional<msg::Response> Coprocessor::poll() {
-  sync_reset();
-  pump_rx();
-  while (rx_words_.size() >= msg::kLinkWordsPerResponse) {
-    std::array<msg::LinkWord, msg::kLinkWordsPerResponse> frame;
-    for (unsigned i = 0; i < msg::kLinkWordsPerResponse; ++i) {
-      frame[i] = rx_words_[i];
-    }
-    if (msg::Response::frame_ok(frame)) {
-      rx_words_.erase(rx_words_.begin(),
-                      rx_words_.begin() + msg::kLinkWordsPerResponse);
-      ++responses_received_;
-      return msg::Response::from_link_words(frame);
-    }
-    // Misaligned or corrupted: slide one word and retry.  The bad frame is
-    // lost (the transport layer's job to recover); framing realigns.
-    rx_words_.pop_front();
-    stats_.bump(crc_resyncs_);
-  }
-  return std::nullopt;
-}
-
-void Coprocessor::reset() { rx_words_.clear(); }
 
 std::vector<msg::Response> Coprocessor::call(const isa::Program& program,
                                              std::uint64_t max_cycles) {
   submit(program);
   std::vector<msg::Response> responses;
-  sim::Simulator& sim = system_->simulator();
   try {
-    sim.run_until(
+    pump_.run_until(
         [&] {
           while (auto r = poll()) {
             responses.push_back(*r);
@@ -81,9 +33,9 @@ std::vector<msg::Response> Coprocessor::call(const isa::Program& program,
           // Done when the expected responses arrived and nothing is still in
           // flight (extra error responses drain before idle turns true).
           return responses.size() >= program.expected_responses() &&
-                 system_->idle();
+                 system().idle();
         },
-        max_cycles);
+        Deadline(system().simulator(), max_cycles), "Coprocessor::call");
   } catch (const SimError&) {
     // Watchdog fired with an unknown amount of a frame consumed; drop the
     // partial words so the next exchange starts aligned.
@@ -96,14 +48,15 @@ std::vector<msg::Response> Coprocessor::call(const isa::Program& program,
 msg::Response Coprocessor::wait_response(std::uint64_t max_cycles) {
   std::optional<msg::Response> got;
   try {
-    system_->simulator().run_until(
+    pump_.run_until(
         [&] {
           if (!got.has_value()) {
             got = poll();
           }
           return got.has_value();
         },
-        max_cycles);
+        Deadline(system().simulator(), max_cycles),
+        "Coprocessor::wait_response");
   } catch (const SimError&) {
     reset();
     throw;

@@ -1,9 +1,9 @@
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "host/driver.hpp"
 #include "isa/program.hpp"
 #include "msg/response.hpp"
 #include "sim/trace.hpp"
@@ -11,33 +11,24 @@
 
 namespace fpgafu::host {
 
-/// Host-side driver for a coprocessor System.
+/// Host-side blocking convenience API for a coprocessor System.
 ///
 /// This is the software half of the paper's arrangement ("the main program
 /// is written in C or any other programming language, and runs in one or
 /// more CPUs which communicate via the interface with a set of functional
-/// units").  It frames instruction streams onto the link, deframes
-/// responses, and offers both an asynchronous submit/poll API and blocking
-/// conveniences (call / read_reg / write_reg / sync).
+/// units").  It is a thin façade over the host::Driver (the non-blocking
+/// link state machine: tx queue + CRC-checked response deframing) and the
+/// host::Pump (the one owner of clock advancement): every blocking call
+/// here is "enqueue onto the Driver, then Pump until done or the Deadline
+/// expires".  Callers that want to integrate with their own event loop can
+/// use `driver()` / `pump()` directly.
 ///
-/// The driver advances the simulator clock when it blocks — from the
-/// software's point of view the coprocessor is "a fast I/O device" it
-/// spins on.
-///
-/// Response deframing is checksum-verified: received link words accumulate
-/// in a window and a response is only accepted when a full frame passes
-/// `Response::frame_ok`.  A failing window slides forward one word at a
-/// time (counted as `host.crc_resyncs`) until it realigns, so a dropped or
-/// corrupted link word garbles one frame instead of every frame after it.
-/// The driver also watches the simulator's reset generation: if the system
-/// is reset under it (or a watchdog fires mid-call), any partially
-/// deframed words are discarded instead of corrupting the next exchange.
+/// From the software's point of view the coprocessor is "a fast I/O
+/// device" it spins on; the spin itself lives in Pump, not here.
 class Coprocessor {
  public:
   explicit Coprocessor(top::System& system)
-      : system_(&system),
-        reset_generation_(system.simulator().reset_generation()),
-        crc_resyncs_(stats_.handle("host.crc_resyncs")) {}
+      : driver_(system), pump_(system.simulator(), driver_) {}
 
   // -- Asynchronous interface ----------------------------------------------
   /// Queue one 64-bit stream word for transmission (2 link words).  Blocks
@@ -51,21 +42,23 @@ class Coprocessor {
 
   /// Non-blocking: return the next response whose complete frame has
   /// arrived and verified.
-  std::optional<msg::Response> poll();
+  std::optional<msg::Response> poll() { return driver_.poll(); }
 
   /// Drop any partially deframed link words and restart framing from the
   /// next word to arrive.  Wired automatically to system reset and call
   /// watchdogs; harmless to call at any frame boundary.
-  void reset();
+  void reset() { driver_.reset(); }
 
   // -- Blocking conveniences -------------------------------------------------
   /// Submit a program and run the clock until all of its responses arrived
   /// (plus any extra error responses — collected until the system drains).
-  std::vector<msg::Response> call(const isa::Program& program,
-                                  std::uint64_t max_cycles = 10'000'000);
+  std::vector<msg::Response> call(
+      const isa::Program& program,
+      std::uint64_t max_cycles = kDefaultCallBudgetCycles);
 
   /// Wait for the next single response.
-  msg::Response wait_response(std::uint64_t max_cycles = 10'000'000);
+  msg::Response wait_response(
+      std::uint64_t max_cycles = kDefaultCallBudgetCycles);
 
   /// Register file access through PUT/GET round trips.
   void write_reg(isa::RegNum reg, isa::Word value);
@@ -81,28 +74,25 @@ class Coprocessor {
   void sync();
 
   /// Total responses received so far.
-  std::uint64_t responses_received() const { return responses_received_; }
+  std::uint64_t responses_received() const {
+    return driver_.responses_received();
+  }
 
   /// Host-side framing statistics (host.crc_resyncs).
-  const sim::Counters& counters() const { return stats_; }
+  const sim::Counters& counters() const { return driver_.counters(); }
 
-  top::System& system() { return *system_; }
-  const top::System& system() const { return *system_; }
+  top::System& system() { return driver_.system(); }
+  const top::System& system() const { return driver_.system(); }
+
+  /// The underlying non-blocking link state machine.
+  Driver& driver() { return driver_; }
+  /// The clock owner every blocking convenience above runs on.  Shared with
+  /// ReliableTransport and MultiHost so one System has one pump.
+  Pump& pump() { return pump_; }
 
  private:
-  /// Discard stale framing state if the system was reset since last use.
-  void sync_reset();
-  /// Move every arrived upstream link word into the receive window.
-  void pump_rx();
-  /// Send one link word, spinning the clock while the link is full.
-  void send_link_word(msg::LinkWord word);
-
-  top::System* system_;
-  std::deque<msg::LinkWord> rx_words_;  ///< deframing window
-  std::uint64_t reset_generation_;
-  std::uint64_t responses_received_ = 0;
-  sim::Counters stats_;
-  sim::Counters::Handle crc_resyncs_;
+  Driver driver_;
+  Pump pump_;
 };
 
 }  // namespace fpgafu::host

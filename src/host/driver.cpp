@@ -1,0 +1,94 @@
+#include "host/driver.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace fpgafu::host {
+
+void Deadline::enforce(const std::string& what) const {
+  if (expired()) {
+    throw SimError(what + ": watchdog expired after " +
+                   std::to_string(budget_) + " cycles");
+  }
+}
+
+void Driver::sync_reset() {
+  const std::uint64_t gen = system_->simulator().reset_generation();
+  if (gen != reset_generation_) {
+    reset_generation_ = gen;
+    rx_words_.clear();
+    tx_words_.clear();
+  }
+}
+
+void Driver::enqueue_word(isa::Word word) {
+  // Fold in any external simulator reset *before* appending, so the stale
+  // pre-reset queue is discarded but this word survives.
+  sync_reset();
+  tx_words_.push_back(static_cast<msg::LinkWord>(word >> 32));
+  tx_words_.push_back(static_cast<msg::LinkWord>(word & 0xffffffffu));
+}
+
+void Driver::enqueue(const isa::Program& program) {
+  for (const isa::Word w : program.words()) {
+    enqueue_word(w);
+  }
+}
+
+void Driver::service() {
+  sync_reset();
+  while (!tx_words_.empty() && system_->link().host_send(tx_words_.front())) {
+    tx_words_.pop_front();
+  }
+  while (auto w = system_->link().host_receive()) {
+    rx_words_.push_back(*w);
+  }
+}
+
+std::optional<msg::Response> Driver::poll() {
+  service();
+  while (rx_words_.size() >= msg::kLinkWordsPerResponse) {
+    std::array<msg::LinkWord, msg::kLinkWordsPerResponse> frame;
+    for (unsigned i = 0; i < msg::kLinkWordsPerResponse; ++i) {
+      frame[i] = rx_words_[i];
+    }
+    if (msg::Response::frame_ok(frame)) {
+      rx_words_.erase(rx_words_.begin(),
+                      rx_words_.begin() + msg::kLinkWordsPerResponse);
+      ++responses_received_;
+      return msg::Response::from_link_words(frame);
+    }
+    // Misaligned or corrupted: slide one word and retry.  The bad frame is
+    // lost (the transport layer's job to recover); framing realigns.
+    rx_words_.pop_front();
+    stats_.bump(crc_resyncs_);
+  }
+  return std::nullopt;
+}
+
+void Driver::reset() {
+  rx_words_.clear();
+  tx_words_.clear();
+}
+
+std::uint64_t Pump::run_until(const std::function<bool()>& done,
+                              Deadline deadline, const std::string& what) {
+  std::uint64_t cycles = 0;
+  for (;;) {
+    driver_->service();
+    if (done()) {
+      return cycles;
+    }
+    deadline.observe();
+    deadline.enforce(what);
+    sim_->step();
+    ++cycles;
+  }
+}
+
+void Pump::flush(Deadline deadline, const std::string& what) {
+  run_until([this] { return driver_->tx_drained(); }, deadline, what);
+}
+
+}  // namespace fpgafu::host

@@ -1,0 +1,260 @@
+#include "host/farm.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fpgafu::host {
+
+/// One shard: the bounded job queue (the only cross-thread state, under
+/// `m`), the published counter snapshot, and the worker thread.  The
+/// simulated hardware itself (Engine) is *not* a member: the worker
+/// constructs it on its own stack so the thread-affinity rule — each
+/// System lives and dies on the thread that drives it — holds by
+/// construction.
+struct Farm::Shard {
+  struct Job {
+    isa::Program program;
+    std::uint64_t budget = 0;
+    std::promise<std::vector<msg::Response>> promise;
+  };
+
+  /// A shard's simulated hardware and its host stack, bundled so inline
+  /// mode and worker threads build them identically.
+  struct Engine {
+    top::System system;
+    Coprocessor copro;
+    ReliableTransport transport;
+
+    explicit Engine(const FarmConfig& cfg)
+        : system(cfg.system), copro(system), transport(copro, cfg.transport) {}
+  };
+
+  std::size_t index = 0;
+
+  std::mutex m;
+  std::condition_variable cv_work;   ///< worker waits: job queued or stop
+  std::condition_variable cv_space;  ///< producers wait: queue below capacity
+  std::deque<Job> queue;             ///< under m
+  bool stop = false;                 ///< under m
+  sim::Counters stats;               ///< under m; published by the worker
+
+  // Worker-local lifecycle tallies (only the owning thread touches these).
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t resets = 0;
+
+  std::thread thread;
+
+  /// Inline mode only: engine owned by the calling thread, built lazily on
+  /// first submit so the caller's thread is the simulator's owner thread.
+  std::unique_ptr<Engine> inline_engine;
+
+  void run_job(Engine& engine, Job job);
+  void publish_stats(const Engine& engine);
+  void fail_job(Job& job, const std::string& why);
+};
+
+void Farm::Shard::fail_job(Job& job, const std::string& why) {
+  ++jobs_failed;
+  job.promise.set_exception(std::make_exception_ptr(
+      FarmError(FarmError::Kind::kShardFault, index, why)));
+}
+
+void Farm::Shard::run_job(Engine& engine, Job job) {
+  try {
+    std::vector<msg::Response> responses =
+        engine.transport.call(job.program, job.budget);
+    ++jobs_completed;
+    job.promise.set_value(std::move(responses));
+  } catch (const SimError& e) {
+    // Fault isolation: this job wedged (watchdog / retries exhausted).
+    // Reset the shard's hardware so later submissions run on a clean
+    // machine, and fail this job plus everything queued behind it — those
+    // jobs were submitted against register state the reset just destroyed.
+    // Other shards never notice.
+    ++resets;
+    engine.system.simulator().reset();
+    engine.system.rtm().clear_state();
+    fail_job(job, "farm shard " + std::to_string(index) +
+                      " fault: " + std::string(e.what()));
+    std::deque<Job> casualties;
+    {
+      std::lock_guard<std::mutex> lk(m);
+      casualties.swap(queue);
+    }
+    cv_space.notify_all();
+    for (Job& j : casualties) {
+      fail_job(j, "farm shard " + std::to_string(index) +
+                      " reset by an earlier job's fault; queued job failed "
+                      "(its register state is gone)");
+    }
+  }
+}
+
+void Farm::Shard::publish_stats(const Engine& engine) {
+  sim::Counters snap;
+  snap.merge(engine.transport.counters());
+  snap.merge(engine.copro.counters());
+  snap.bump("farm.jobs_completed", jobs_completed);
+  snap.bump("farm.jobs_failed", jobs_failed);
+  snap.bump("farm.shard_resets", resets);
+  std::lock_guard<std::mutex> lk(m);
+  stats = std::move(snap);
+}
+
+Farm::Farm(FarmConfig config) : config_(std::move(config)) {
+  // Surface configuration errors on the constructing thread, not as a
+  // worker-thread construction failure N times over.
+  config_.system.validate();
+  check(config_.queue_capacity > 0, "FarmConfig::queue_capacity must be > 0");
+  const std::size_t n = config_.shards == 0 ? 1 : config_.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = i;
+  }
+  if (inline_mode()) {
+    return;  // the caller's thread is shard 0's owner; engine built lazily
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard* shard = shards_[i].get();
+    shard->thread = std::thread([this, shard] {
+      // The System is constructed *here*, on the worker thread, making
+      // this thread the simulator's owner (sim::Simulator is thread-affine
+      // — see its class comment; debug builds assert it in step()).
+      std::unique_ptr<Shard::Engine> engine;
+      std::string construct_error;
+      try {
+        engine = std::make_unique<Shard::Engine>(config_);
+      } catch (const std::exception& e) {
+        construct_error = e.what();
+      }
+      for (;;) {
+        Shard::Job job;
+        {
+          std::unique_lock<std::mutex> lk(shard->m);
+          shard->cv_work.wait(
+              lk, [&] { return shard->stop || !shard->queue.empty(); });
+          if (shard->queue.empty()) {
+            break;  // stop requested and the queue fully drained
+          }
+          job = std::move(shard->queue.front());
+          shard->queue.pop_front();
+        }
+        shard->cv_space.notify_one();
+        if (!engine) {
+          shard->fail_job(job, "farm shard " + std::to_string(shard->index) +
+                                   " failed to construct: " + construct_error);
+          continue;
+        }
+        shard->run_job(*engine, std::move(job));
+        shard->publish_stats(*engine);
+      }
+      if (engine) {
+        shard->publish_stats(*engine);
+      }
+    });
+  }
+}
+
+Farm::~Farm() { shutdown(); }
+
+void Farm::shutdown() {
+  std::lock_guard<std::mutex> g(shutdown_m_);
+  if (joined_) {
+    return;
+  }
+  stopping_.store(true);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(shard->m);
+      shard->stop = true;
+    }
+    shard->cv_work.notify_all();
+    shard->cv_space.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
+  }
+  joined_ = true;
+}
+
+std::size_t Farm::shard_count() const { return shards_.size(); }
+
+Farm::SessionId Farm::create_session() {
+  return next_session_.fetch_add(1);
+}
+
+std::size_t Farm::shard_of(SessionId session) const {
+  return static_cast<std::size_t>(session % shards_.size());
+}
+
+std::future<std::vector<msg::Response>> Farm::submit(
+    isa::Program program, std::optional<std::uint64_t> budget_cycles) {
+  const std::size_t shard =
+      static_cast<std::size_t>(rr_next_.fetch_add(1) % shards_.size());
+  return enqueue(shard, std::move(program),
+                 budget_cycles.value_or(config_.job_budget_cycles));
+}
+
+std::future<std::vector<msg::Response>> Farm::submit(
+    SessionId session, isa::Program program,
+    std::optional<std::uint64_t> budget_cycles) {
+  return enqueue(shard_of(session), std::move(program),
+                 budget_cycles.value_or(config_.job_budget_cycles));
+}
+
+std::future<std::vector<msg::Response>> Farm::enqueue(
+    std::size_t shard_index, isa::Program program, std::uint64_t budget) {
+  Shard& shard = *shards_[shard_index];
+  Shard::Job job;
+  job.program = std::move(program);
+  job.budget = budget;
+  std::future<std::vector<msg::Response>> fut = job.promise.get_future();
+
+  if (inline_mode()) {
+    if (stopping_.load()) {
+      throw FarmError(FarmError::Kind::kShutdown, shard.index,
+                      "Farm::submit on a farm that is shutting down");
+    }
+    if (!shard.inline_engine) {
+      shard.inline_engine = std::make_unique<Shard::Engine>(config_);
+    }
+    shard.run_job(*shard.inline_engine, std::move(job));
+    shard.publish_stats(*shard.inline_engine);
+    return fut;
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(shard.m);
+    // Backpressure: block while the bounded queue is full.
+    shard.cv_space.wait(lk, [&] {
+      return shard.stop || shard.queue.size() < config_.queue_capacity;
+    });
+    if (shard.stop) {
+      throw FarmError(FarmError::Kind::kShutdown, shard.index,
+                      "Farm::submit on a farm that is shutting down");
+    }
+    shard.queue.push_back(std::move(job));
+  }
+  shard.cv_work.notify_one();
+  return fut;
+}
+
+sim::Counters Farm::counters() const {
+  sim::Counters out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->m);
+    out.merge(shard->stats);
+  }
+  return out;
+}
+
+}  // namespace fpgafu::host

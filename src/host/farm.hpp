@@ -1,0 +1,158 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/reliable_transport.hpp"
+#include "isa/program.hpp"
+#include "msg/response.hpp"
+#include "sim/trace.hpp"
+#include "top/system.hpp"
+
+namespace fpgafu::host {
+
+/// Typed failure for farm jobs: carries which shard failed and why, so a
+/// caller can distinguish "my program wedged shard 3" from "the farm was
+/// shut down under me" without string-matching.
+class FarmError : public SimError {
+ public:
+  enum class Kind {
+    kShardFault,  ///< the shard's watchdog tripped (or retries exhausted);
+                  ///< the shard was reset and this job's result is lost
+    kShutdown,    ///< submitted against a farm that is shutting down
+  };
+
+  FarmError(Kind kind, std::size_t shard, const std::string& what)
+      : SimError(what), kind_(kind), shard_(shard) {}
+
+  Kind kind() const { return kind_; }
+  std::size_t shard() const { return shard_; }
+
+ private:
+  Kind kind_;
+  std::size_t shard_;
+};
+
+/// Configuration of a coprocessor farm.
+struct FarmConfig {
+  /// Worker shards.  Each shard is an independent top::System +
+  /// ReliableTransport owned by one worker thread.  0 means *inline*: no
+  /// threads, one shard owned by the calling thread, submit() executes
+  /// synchronously — the degenerate farm, bit-identical to a plain
+  /// Coprocessor/ReliableTransport call (tests pin this).
+  std::size_t shards = 1;
+  /// Per-shard system configuration (every shard is identical).
+  top::SystemConfig system;
+  /// Per-shard transport tuning.
+  TransportConfig transport;
+  /// Bounded submission queue depth per shard.  When a shard's queue is
+  /// full, submit() blocks the caller — backpressure instead of unbounded
+  /// memory growth.
+  std::size_t queue_capacity = 64;
+  /// Default per-job clock budget (overridable per submit).
+  std::uint64_t job_budget_cycles = kDefaultCallBudgetCycles;
+};
+
+/// A multi-System coprocessor farm: N independent shards, each one whole
+/// `top::System` + `host::ReliableTransport` driven by its own worker
+/// thread (the paper's "one or more CPUs communicate via the interface
+/// with a set of functional units", scaled out to a pool of functional-unit
+/// fabrics the way ThreadPoolComposer-style toolchains expose FPGAs to a
+/// software thread pool).
+///
+/// **Ownership rule.**  The sim::Simulator is thread-affine (see its class
+/// comment): each shard's System is constructed *on* its worker thread and
+/// never touched by any other thread.  The only cross-thread traffic is
+/// the job queue (mutex-protected) and counter snapshots — never live
+/// simulator state.
+///
+/// **Affinity.**  Registers live per shard, so work that depends on
+/// register state across jobs must stay on one shard: create_session()
+/// returns an id with a sticky session→shard mapping, and
+/// submit(session, ...) always lands on that shard.  Session-less
+/// submit() round-robins across shards and must treat each job as
+/// self-contained.
+///
+/// **Backpressure.**  Each shard's queue is bounded
+/// (FarmConfig::queue_capacity); submit() blocks while the target queue is
+/// full.
+///
+/// **Failure semantics.**  A job that trips the shard's watchdog (or
+/// exhausts transport retries) fails its own future *and* every job queued
+/// on that shard at that moment with FarmError{kShardFault} — those jobs
+/// were submitted against register state the recovery reset has destroyed.
+/// The shard resets its System and keeps serving later submissions; other
+/// shards never notice (fault isolation).
+///
+/// **Shutdown.**  Destruction (or shutdown()) stops intake, lets every
+/// worker drain the jobs already queued, then joins — queued futures
+/// complete normally; only *new* submissions are refused with
+/// FarmError{kShutdown}.
+class Farm {
+ public:
+  using SessionId = std::uint64_t;
+
+  explicit Farm(FarmConfig config);
+  ~Farm();
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  /// Submit a self-contained program; round-robins across shards.
+  std::future<std::vector<msg::Response>> submit(
+      isa::Program program,
+      std::optional<std::uint64_t> budget_cycles = std::nullopt);
+
+  /// Submit on `session`'s shard (sticky affinity: register state persists
+  /// across this session's jobs, shard faults permitting).
+  std::future<std::vector<msg::Response>> submit(
+      SessionId session, isa::Program program,
+      std::optional<std::uint64_t> budget_cycles = std::nullopt);
+
+  /// New session id with a sticky shard assignment (round-robin over
+  /// shards at creation).
+  SessionId create_session();
+
+  /// The shard a session's jobs run on.
+  std::size_t shard_of(SessionId session) const;
+
+  /// Shards serving jobs (1 for an inline farm — FarmConfig::shards == 0).
+  std::size_t shard_count() const;
+  /// True when the farm runs inline on the caller's thread (shards == 0).
+  bool inline_mode() const { return config_.shards == 0; }
+
+  /// Aggregated fleet statistics: every shard's transport.*, host.* and
+  /// farm.* counters merged (sim::Counters::merge) into one snapshot.
+  /// farm.jobs_completed / farm.jobs_failed / farm.shard_resets count the
+  /// farm's own lifecycle events.
+  sim::Counters counters() const;
+
+  /// Stop intake, drain queued jobs, join workers.  Idempotent; called by
+  /// the destructor.
+  void shutdown();
+
+  const FarmConfig& config() const { return config_; }
+
+ private:
+  struct Shard;
+
+  std::future<std::vector<msg::Response>> enqueue(std::size_t shard_index,
+                                                  isa::Program program,
+                                                  std::uint64_t budget);
+
+  FarmConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_session_{0};
+  std::atomic<std::uint64_t> rr_next_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_m_;
+  bool joined_ = false;  ///< under shutdown_m_
+};
+
+}  // namespace fpgafu::host

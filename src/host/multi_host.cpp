@@ -23,8 +23,9 @@ std::vector<msg::Response> MultiHost::Session::call(
     const isa::Program& program, std::uint64_t max_cycles) {
   submit(program);
   std::vector<msg::Response> responses;
-  sim::Simulator& sim = owner_->copro_.system().simulator();
-  sim.run_until(
+  // Blocks on the shared Pump (the coprocessor's clock owner): one
+  // multiplexer round per cycle, with the uniform Deadline watchdog.
+  owner_->copro_.pump().run_until(
       [&] {
         owner_->pump();
         while (auto r = poll()) {
@@ -33,7 +34,8 @@ std::vector<msg::Response> MultiHost::Session::call(
         return responses.size() >= program.expected_responses() &&
                pending_.empty();
       },
-      max_cycles);
+      Deadline(owner_->copro_.system().simulator(), max_cycles),
+      "MultiHost::Session::call");
   return responses;
 }
 

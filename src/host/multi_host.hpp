@@ -40,8 +40,9 @@ class MultiHost {
 
     /// Submit and block (pumping the multiplexer and the clock) until this
     /// session's expected responses arrive.
-    std::vector<msg::Response> call(const isa::Program& program,
-                                    std::uint64_t max_cycles = 10'000'000);
+    std::vector<msg::Response> call(
+        const isa::Program& program,
+        std::uint64_t max_cycles = kDefaultCallBudgetCycles);
 
     std::size_t id() const { return id_; }
     bool has_pending_instructions() const { return !pending_.empty(); }

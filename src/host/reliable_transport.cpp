@@ -27,8 +27,9 @@ void ReliableTransport::sync_generation() {
 }
 
 std::vector<msg::Response> ReliableTransport::call(
-    const isa::Program& program) {
+    const isa::Program& program, std::optional<std::uint64_t> budget_cycles) {
   sync_generation();
+  const std::uint64_t budget = budget_cycles.value_or(config_.max_cycles);
   const std::vector<InstructionGroup> groups = split_groups(program);
   const rtm::Rtm& rtm = copro_->system().rtm();
 
@@ -57,14 +58,6 @@ std::vector<msg::Response> ReliableTransport::call(
   std::deque<Outstanding> outstanding;
 
   sim::Simulator& sim = copro_->system().simulator();
-  const std::uint64_t start = sim.cycle();
-  auto watchdog = [&] {
-    if (sim.cycle() - start >= config_.max_cycles) {
-      copro_->reset();
-      throw SimError("ReliableTransport: watchdog expired after " +
-                     std::to_string(config_.max_cycles) + " cycles");
-    }
-  };
 
   auto timeout_for = [&](unsigned attempts) {
     std::uint64_t t = config_.response_timeout;
@@ -179,41 +172,52 @@ std::vector<msg::Response> ReliableTransport::call(
     }
   };
 
+  // The retry state machine, driven by the shared Pump: one service
+  // quantum per clock cycle, with the overall watchdog expressed as a
+  // Deadline instead of a hand-rolled cycle-arithmetic spin.
   std::size_t next_group = 0;
-  while (next_group < groups.size() || !outstanding.empty()) {
-    watchdog();
-    // Submission phase.  Groups that mutate state wait behind the write
-    // barrier so no retry can ever observe a newer value.
-    while (next_group < groups.size()) {
-      const Slot& s = slots[next_group];
-      if (s.pred.count == 0 && !s.pred.retriable && !outstanding.empty()) {
-        break;  // write barrier
-      }
-      transmit(next_group, 1);
-      ++next_group;
-    }
-    while (auto r = copro_->poll()) {
-      handle_response(*r);
-    }
-    if (!outstanding.empty() && sim.cycle() >= outstanding.front().deadline) {
-      retry_entry(timeouts_);
-    }
-    if (next_group >= groups.size() && outstanding.empty()) {
-      break;
-    }
-    sim.step();
+  Pump& pump = copro_->pump();
+  try {
+    pump.run_until(
+        [&] {
+          // Submission phase.  Groups that mutate state wait behind the
+          // write barrier so no retry can ever observe a newer value.
+          while (next_group < groups.size()) {
+            const Slot& s = slots[next_group];
+            if (s.pred.count == 0 && !s.pred.retriable &&
+                !outstanding.empty()) {
+              break;  // write barrier
+            }
+            transmit(next_group, 1);
+            ++next_group;
+          }
+          while (auto r = copro_->poll()) {
+            handle_response(*r);
+          }
+          if (!outstanding.empty() &&
+              sim.cycle() >= outstanding.front().deadline) {
+            retry_entry(timeouts_);
+          }
+          return next_group >= groups.size() && outstanding.empty();
+        },
+        Deadline(sim, budget), "ReliableTransport::call");
+  } catch (const SimError&) {
+    // Watchdog (or max-attempts give-up) aborted mid-exchange; realign the
+    // deframer so the next call starts clean.
+    copro_->reset();
+    throw;
   }
 
   // Let trailing writes and stale duplicates drain so the system is idle
   // for the caller (any response arriving now belongs to no live group).
-  sim.run_until(
+  pump.run_until(
       [&] {
         while (copro_->poll()) {
           stats_.bump(stale_dropped_);
         }
         return copro_->system().idle();
       },
-      config_.max_cycles);
+      Deadline(sim, budget), "ReliableTransport::drain");
 
   std::vector<msg::Response> out;
   for (Slot& s : slots) {

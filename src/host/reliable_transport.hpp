@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "host/coprocessor.hpp"
@@ -18,8 +19,9 @@ struct TransportConfig {
   unsigned max_attempts = 10;
   /// Timeout multiplier applied per retry attempt.
   std::uint64_t backoff_multiplier = 2;
-  /// Overall watchdog for one call().
-  std::uint64_t max_cycles = 20'000'000;
+  /// Overall watchdog for one call() (2x the default call budget: the
+  /// transport is expected to out-wait retries a plain call would not).
+  std::uint64_t max_cycles = 2 * kDefaultCallBudgetCycles;
 };
 
 /// Reliable request/response layer over an unreliable upstream link.
@@ -62,8 +64,12 @@ class ReliableTransport {
   /// Submit `program` and block until every expected response has been
   /// received (retrying as needed).  Returns responses renumbered to
   /// program order.  Throws SimError when a retriable group exhausts
-  /// max_attempts or the overall watchdog fires.
-  std::vector<msg::Response> call(const isa::Program& program);
+  /// max_attempts or the overall watchdog fires.  `budget_cycles`, when
+  /// given, overrides config().max_cycles for this one call (the Farm uses
+  /// it for per-job deadlines).
+  std::vector<msg::Response> call(
+      const isa::Program& program,
+      std::optional<std::uint64_t> budget_cycles = std::nullopt);
 
   /// transport.{retries,timeouts,gap_retries,dup_dropped,stale_dropped,
   /// failures} statistics.

@@ -143,6 +143,13 @@ void Simulator::settle_brute_force() {
 }
 
 void Simulator::step() {
+  // Thread-affinity contract (see the class comment): only the owning
+  // thread may advance the clock.  host::Farm satisfies this by
+  // constructing each shard's System on its worker thread.
+  assert(std::this_thread::get_id() == owner_ &&
+         "sim::Simulator is thread-affine: step() called off the owner "
+         "thread (construct the System on the thread that drives it, or "
+         "rebind_owner() at a quiescent hand-off)");
   if (kernel_ == Kernel::kSensitivity) {
     settle_sensitivity();
   } else {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -46,6 +48,16 @@ class WireBase;
 ///     component until a pass changes nothing.  Kept as the reference
 ///     implementation; the differential tests pin the two kernels to
 ///     bit-identical architectural behaviour.
+///
+/// **Thread affinity.**  A Simulator — and everything built on it: every
+/// Component, the whole top::System — belongs to exactly one thread, the
+/// one that constructed it (or the last one `rebind_owner()` was called
+/// from).  Nothing here is synchronised: wires, the dirty queue and every
+/// component's registers are plain data, which is what makes the settle
+/// loop fast.  Concurrency lives *above* the simulator — host::Farm runs N
+/// Systems on N threads, one simulator per thread, and never shares one.
+/// `step()` asserts the rule in debug builds; the TSan CI job enforces it
+/// for the multi-threaded code paths.
 class Simulator {
  public:
   enum class Kernel {
@@ -106,6 +118,14 @@ class Simulator {
   /// boundary and after reset() — tests assert this invariant.
   std::size_t pending_reevals() const { return queue_.size(); }
 
+  /// The thread this simulator is affine to (see the class comment).
+  std::thread::id owner_thread() const { return owner_; }
+
+  /// Transfer ownership to the calling thread.  Legal only at a quiescent
+  /// hand-off — the previous owner must have stopped touching the simulator
+  /// (and everything built on it) before the new owner starts.
+  void rebind_owner() { owner_ = std::this_thread::get_id(); }
+
   /// Total component eval() calls across all settle passes (both kernels).
   /// The sensitivity kernel's win is visible as a lower count for the same
   /// cycle count; bench_sim_kernel reports the ratio.
@@ -137,6 +157,7 @@ class Simulator {
   std::vector<Component*> queue_;  ///< components to re-evaluate next pass
   std::vector<Component*> work_;   ///< pass currently being drained
   Component* reading_ = nullptr;   ///< component whose eval() is running
+  std::thread::id owner_ = std::this_thread::get_id();
   std::uint64_t cycle_ = 0;
   std::uint64_t reset_generation_ = 0;
   std::uint64_t evals_ = 0;

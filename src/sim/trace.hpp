@@ -99,6 +99,22 @@ class Counters {
     return out;
   }
 
+  /// Add every counter from `other` into this one, matching by name and
+  /// creating counters that do not exist here yet.  Handles interned on
+  /// this object before the merge remain valid and keep their names: a
+  /// merge only appends to the name table, never reorders it.  This is how
+  /// host::Farm aggregates per-shard statistics into one fleet-wide view.
+  void merge(const Counters& other) {
+    for (std::size_t i = 0; i < other.values_.size(); ++i) {
+      bump(handle(other.names_[i]), other.values_[i]);
+    }
+  }
+
+  /// An independent by-value copy.  Counter owners hand snapshots across
+  /// thread boundaries (under their own locking) instead of sharing live
+  /// objects; the copy's handles are its own.
+  Counters snapshot() const { return *this; }
+
   /// Zero every counter.  Interned handles remain valid.
   void clear() { values_.assign(values_.size(), 0); }
 

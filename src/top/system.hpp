@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fu/stateless_units.hpp"
@@ -10,6 +11,7 @@
 #include "msg/message_buffer.hpp"
 #include "msg/message_serializer.hpp"
 #include "rtm/rtm.hpp"
+#include "util/error.hpp"
 #include "xsort/unit.hpp"
 
 namespace fpgafu::top {
@@ -52,6 +54,24 @@ struct SystemConfig {
   /// Attach the stateful χ-sort engine (thesis §3.3).
   bool with_xsort = false;
   xsort::XsortConfig xsort;
+
+  /// Reject configurations the model cannot run: a non-positive clock
+  /// (cycles_to_us would divide by it), a zero-depth message buffer or
+  /// serializer (the hardware FIFOs need at least one slot to ever accept
+  /// a word).  Called by the System constructor; throws SimError with a
+  /// description of the offending field.
+  void validate() const {
+    check(clock_mhz > 0.0,
+          "SystemConfig::clock_mhz must be > 0 (got " +
+              std::to_string(clock_mhz) + " MHz): wall-clock projections "
+              "divide by the FPGA clock");
+    check(message_buffer_depth > 0,
+          "SystemConfig::message_buffer_depth must be > 0: a zero-slot "
+          "hardware message buffer can never accept an instruction word");
+    check(serializer_depth > 0,
+          "SystemConfig::serializer_depth must be > 0: a zero-slot message "
+          "serializer can never accept a response");
+  }
 };
 
 /// A complete simulated coprocessor: everything that would live on the
@@ -60,7 +80,7 @@ struct SystemConfig {
 class System {
  public:
   explicit System(const SystemConfig& config)
-      : config_(config),
+      : config_(validated(config)),
         link_(make_link(sim_, config)),
         buffer_(sim_, "message_buffer", config.message_buffer_depth),
         rtm_(sim_, config.rtm),
@@ -146,6 +166,14 @@ class System {
   }
 
  private:
+  /// Validation runs before any member construction (config_ is the first
+  /// member), so a bad depth is reported as a SimError instead of
+  /// misbehaving inside a FIFO constructor.
+  static const SystemConfig& validated(const SystemConfig& config) {
+    config.validate();
+    return config;
+  }
+
   std::unique_ptr<msg::Link> make_link(sim::Simulator& sim,
                                        const SystemConfig& config) {
     if (config.link_faults) {

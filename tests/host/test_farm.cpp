@@ -1,0 +1,296 @@
+#include "host/farm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "host/coprocessor.hpp"
+#include "host/reference_model.hpp"
+#include "isa/assembler.hpp"
+#include "util/rng.hpp"
+
+namespace fpgafu::host {
+namespace {
+
+/// A random program that writes every register it later reads, so its
+/// response stream is independent of whatever earlier jobs left in the
+/// shard's register file — the property that lets every farm job be
+/// checked against a *fresh* ReferenceModel regardless of which shard it
+/// lands on.
+isa::Program selfcontained_program(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string src;
+  for (int r = 1; r <= 4; ++r) {
+    src += "PUT r" + std::to_string(r) + ", #" +
+           std::to_string(rng.below(1u << 20)) + "\n";
+  }
+  src += "ADD r5, r1, r2\n";
+  src += "SUB r6, r3, r4\n";
+  src += "ADD r7, r5, r6\n";
+  src += "GET r5\nGET r6\nGET r7\n";
+  return isa::Assembler::assemble(src);
+}
+
+std::vector<msg::Response> reference_run(const isa::Program& p) {
+  return ReferenceModel(top::SystemConfig{}.rtm).run(p);
+}
+
+TEST(Farm, InlineFarmMatchesPlainCoprocessorCallExactly) {
+  FarmConfig fc;
+  fc.shards = 0;  // inline: no threads, caller-owned shard
+  Farm farm(fc);
+  EXPECT_TRUE(farm.inline_mode());
+  EXPECT_EQ(farm.shard_count(), 1u);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const isa::Program p = selfcontained_program(seed);
+    const std::vector<msg::Response> got = farm.submit(p).get();
+
+    top::System sys({});
+    Coprocessor copro(sys);
+    const std::vector<msg::Response> plain = copro.call(p);
+
+    EXPECT_EQ(got, plain) << "seed " << seed;
+    EXPECT_EQ(got, reference_run(p)) << "seed " << seed;
+  }
+}
+
+TEST(Farm, SingleShardFarmMatchesPlainCoprocessorCallExactly) {
+  FarmConfig fc;
+  fc.shards = 1;
+  Farm farm(fc);
+  EXPECT_FALSE(farm.inline_mode());
+
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const isa::Program p = selfcontained_program(seed);
+    const std::vector<msg::Response> got = farm.submit(p).get();
+
+    top::System sys({});
+    Coprocessor copro(sys);
+    EXPECT_EQ(got, copro.call(p)) << "seed " << seed;
+    EXPECT_EQ(got, reference_run(p)) << "seed " << seed;
+  }
+}
+
+TEST(Farm, MultiShardJobsAllMatchTheReferenceModel) {
+  FarmConfig fc;
+  fc.shards = 4;
+  Farm farm(fc);
+
+  std::vector<isa::Program> programs;
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 100; seed < 132; ++seed) {
+    programs.push_back(selfcontained_program(seed));
+    futures.push_back(farm.submit(programs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), reference_run(programs[i])) << "job " << i;
+  }
+  // Counter snapshots are published after the future resolves; shutdown()
+  // joins the workers, after which the fleet view is exact.
+  farm.shutdown();
+  const sim::Counters totals = farm.counters();
+  EXPECT_EQ(totals.get("farm.jobs_completed"), futures.size());
+  EXPECT_EQ(totals.get("farm.jobs_failed"), 0u);
+  EXPECT_EQ(totals.get("farm.shard_resets"), 0u);
+}
+
+TEST(Farm, StickySessionsKeepRegisterStateOnTheirShard) {
+  FarmConfig fc;
+  fc.shards = 2;
+  Farm farm(fc);
+  const Farm::SessionId a = farm.create_session();
+  const Farm::SessionId b = farm.create_session();
+  ASSERT_NE(farm.shard_of(a), farm.shard_of(b));
+
+  // A writes r1 on its shard (a response-less job), then reads it back —
+  // sticky affinity means the second job sees the first one's write.
+  farm.submit(a, isa::Assembler::assemble("PUT r1, #42")).get();
+  const auto got_a = farm.submit(a, isa::Assembler::assemble("GET r1")).get();
+  ASSERT_EQ(got_a.size(), 1u);
+  EXPECT_EQ(got_a[0].payload, 42u);
+
+  // B's shard never saw the write: its register file still reads zero.
+  const auto got_b = farm.submit(b, isa::Assembler::assemble("GET r1")).get();
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_b[0].payload, 0u);
+
+  // The mapping is stable: the same session always lands on one shard.
+  EXPECT_EQ(farm.shard_of(a), farm.shard_of(a));
+}
+
+TEST(Farm, WatchdogTripFailsOnlyThatShardAndItRecovers) {
+  FarmConfig fc;
+  fc.shards = 2;
+  Farm farm(fc);
+  const Farm::SessionId sick = farm.create_session();   // shard 0
+  const Farm::SessionId healthy = farm.create_session();  // shard 1
+  ASSERT_NE(farm.shard_of(sick), farm.shard_of(healthy));
+
+  // Shard 0: a chunky-but-correct job first (keeps the worker busy while
+  // the rest of the queue forms), then a job whose 4-cycle budget cannot
+  // possibly cover a GET round trip, then two more queued behind it.
+  std::string chunky_src;
+  for (int i = 0; i < 120; ++i) {
+    chunky_src += "PUT r1, #" + std::to_string(i) + "\nGET r1\n";
+  }
+  const isa::Program chunky = isa::Assembler::assemble(chunky_src);
+  const isa::Program poison = isa::Assembler::assemble("GET r2");
+  const isa::Program follower = selfcontained_program(77);
+
+  auto fut_chunky = farm.submit(sick, chunky);
+  auto fut_poison = farm.submit(sick, poison, /*budget_cycles=*/4);
+  auto fut_f1 = farm.submit(sick, follower);
+  auto fut_f2 = farm.submit(sick, follower);
+
+  // Shard 1 keeps serving normally throughout.
+  std::vector<isa::Program> other_programs;
+  std::vector<std::future<std::vector<msg::Response>>> other;
+  for (std::uint64_t seed = 300; seed < 308; ++seed) {
+    other_programs.push_back(selfcontained_program(seed));
+    other.push_back(farm.submit(healthy, other_programs.back()));
+  }
+
+  EXPECT_EQ(fut_chunky.get(), reference_run(chunky));
+
+  try {
+    fut_poison.get();
+    FAIL() << "poison job must fail";
+  } catch (const FarmError& e) {
+    EXPECT_EQ(e.kind(), FarmError::Kind::kShardFault);
+    EXPECT_EQ(e.shard(), farm.shard_of(sick));
+  }
+
+  // Jobs queued behind the poison at trip time are failed with the same
+  // typed error (their register state died with the recovery reset).  If
+  // the worker happened to drain them after the reset instead, they must
+  // still produce correct (self-contained) results — never hang.
+  for (auto* fut : {&fut_f1, &fut_f2}) {
+    try {
+      EXPECT_EQ(fut->get(), reference_run(follower));
+    } catch (const FarmError& e) {
+      EXPECT_EQ(e.kind(), FarmError::Kind::kShardFault);
+      EXPECT_EQ(e.shard(), farm.shard_of(sick));
+    }
+  }
+
+  // Fault isolation: every job on the healthy shard is untouched.
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    EXPECT_EQ(other[i].get(), reference_run(other_programs[i]))
+        << "healthy job " << i;
+  }
+
+  // The tripped shard was reset and keeps serving new submissions.
+  const isa::Program after = selfcontained_program(999);
+  EXPECT_EQ(farm.submit(sick, after).get(), reference_run(after));
+
+  const sim::Counters totals = farm.counters();
+  EXPECT_GE(totals.get("farm.shard_resets"), 1u);
+  EXPECT_GE(totals.get("farm.jobs_failed"), 1u);
+}
+
+TEST(Farm, DestructionDrainsQueuedJobsCleanly) {
+  std::vector<isa::Program> programs;
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  {
+    FarmConfig fc;
+    fc.shards = 2;
+    Farm farm(fc);
+    for (std::uint64_t seed = 500; seed < 524; ++seed) {
+      programs.push_back(selfcontained_program(seed));
+      futures.push_back(farm.submit(programs.back()));
+    }
+    // The farm is destroyed here with most jobs still queued: graceful
+    // shutdown drains them rather than abandoning their futures.
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), reference_run(programs[i])) << "job " << i;
+  }
+}
+
+TEST(Farm, ShutdownRefusesNewSubmissions) {
+  FarmConfig fc;
+  fc.shards = 1;
+  Farm farm(fc);
+  farm.shutdown();
+  EXPECT_THROW(farm.submit(selfcontained_program(1)), FarmError);
+  try {
+    farm.submit(selfcontained_program(1));
+  } catch (const FarmError& e) {
+    EXPECT_EQ(e.kind(), FarmError::Kind::kShutdown);
+  }
+  farm.shutdown();  // idempotent
+}
+
+TEST(Farm, InlineShutdownRefusesNewSubmissions) {
+  FarmConfig fc;
+  fc.shards = 0;
+  Farm farm(fc);
+  farm.submit(selfcontained_program(3)).get();
+  farm.shutdown();
+  EXPECT_THROW(farm.submit(selfcontained_program(4)), FarmError);
+}
+
+TEST(Farm, BackpressureQueueStillCompletesEverything) {
+  // A 2-deep queue forces submit() to block (backpressure) instead of
+  // growing without bound; every job still completes correctly.
+  FarmConfig fc;
+  fc.shards = 1;
+  fc.queue_capacity = 2;
+  Farm farm(fc);
+  std::vector<isa::Program> programs;
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 700; seed < 716; ++seed) {
+    programs.push_back(selfcontained_program(seed));
+    futures.push_back(farm.submit(programs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), reference_run(programs[i])) << "job " << i;
+  }
+  // Counter snapshots are published after the future resolves; shutdown()
+  // joins the worker, after which the fleet view is exact.
+  farm.shutdown();
+  EXPECT_EQ(farm.counters().get("farm.jobs_completed"), futures.size());
+}
+
+TEST(Farm, AggregatedCountersMergeEveryShard) {
+  FarmConfig fc;
+  fc.shards = 3;
+  Farm farm(fc);
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 900; seed < 912; ++seed) {
+    futures.push_back(farm.submit(selfcontained_program(seed)));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  farm.shutdown();  // workers publish their final snapshots before joining
+  const sim::Counters totals = farm.counters();
+  EXPECT_EQ(totals.get("farm.jobs_completed"), 12u);
+  EXPECT_EQ(totals.get("farm.jobs_failed"), 0u);
+  // Per-shard transport and framing statistics participate in the merge
+  // (zero on a clean link, but the names must be present fleet-wide —
+  // all() materialises only counters that exist).
+  const auto names = totals.all();
+  EXPECT_EQ(names.count("transport.retries"), 1u);
+  EXPECT_EQ(names.count("host.crc_resyncs"), 1u);
+  EXPECT_EQ(totals.get("transport.retries"), 0u);
+}
+
+TEST(Farm, RejectsDegenerateConfiguration) {
+  {
+    FarmConfig fc;
+    fc.queue_capacity = 0;
+    EXPECT_THROW(Farm{fc}, SimError);
+  }
+  {
+    FarmConfig fc;
+    fc.system.message_buffer_depth = 0;  // surfaced on the caller's thread
+    EXPECT_THROW(Farm{fc}, SimError);
+  }
+}
+
+}  // namespace
+}  // namespace fpgafu::host
