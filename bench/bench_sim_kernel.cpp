@@ -1,4 +1,4 @@
-// Experiment E9: settle-kernel cost on a wide system.
+// Experiments E9/E11: settle-kernel cost on a wide system.
 //
 // The fixed-point settle is the simulator's inner loop.  The brute-force
 // kernel re-runs every component's eval() on every settle pass, so its
@@ -147,8 +147,9 @@ KernelResult run_wide(sim::Simulator::Kernel kernel, const isa::Program& p) {
 }
 
 void print_kernel_table() {
-  bench::section("E9", "Settle-kernel cost: 32 FSM units + 256-cell xsort "
-                       "engine, sparse round-robin workload (16 sweeps)");
+  bench::section("E9/E11",
+                 "Settle-kernel cost: 32 FSM units + 256-cell xsort "
+                 "engine, sparse round-robin workload (16 sweeps)");
   const isa::Program p = sparse_workload(16);
   // Best-of-3 so the wall column is not dominated by cold-start noise
   // (the google-benchmark runs below give the statistically solid view).
@@ -164,6 +165,7 @@ void print_kernel_table() {
   };
   const KernelResult brute = best_of(sim::Simulator::Kernel::kBruteForce);
   const KernelResult sens = best_of(sim::Simulator::Kernel::kSensitivity);
+  const KernelResult event = best_of(sim::Simulator::Kernel::kEvent);
   TextTable t({"kernel", "cycles", "eval() calls", "evals/cycle",
                "max settle", "wall ms"});
   const auto row = [&](const char* name, const KernelResult& r) {
@@ -175,29 +177,39 @@ void print_kernel_table() {
   };
   row("brute force", brute);
   row("sensitivity", sens);
+  row("event", event);
   t.print(std::cout);
   std::printf("  eval-call ratio (brute/sensitivity): %.2fx\n",
               static_cast<double>(brute.evals) /
                   static_cast<double>(sens.evals));
+  std::printf("  eval-call ratio (sensitivity/event): %.2fx\n",
+              static_cast<double>(sens.evals) /
+                  static_cast<double>(event.evals));
   std::printf("  wall-time ratio (brute/sensitivity): %.2fx\n",
               brute.wall_ms / sens.wall_ms);
+  std::printf("  wall-time ratio (sensitivity/event): %.2fx\n",
+              sens.wall_ms / event.wall_ms);
   bench::note("Identical cycle counts are required (the kernels are pinned");
-  bench::note("bit-identical by tests/rtm/test_kernel_differential.cpp);");
-  bench::note("the sensitivity kernel's win is the dropped re-evaluations");
-  bench::note("of idle components on settle passes after the first.");
-  if (brute.cycles != sens.cycles) {
-    std::printf("  ERROR: cycle counts diverged (%llu vs %llu)\n",
+  bench::note("bit-identical by tests/rtm/test_kernel_differential.cpp).");
+  bench::note("The sensitivity kernel drops re-evaluations of idle");
+  bench::note("components on settle passes after the first; the event");
+  bench::note("kernel carries activity across the clock edge and skips");
+  bench::note("idle components in the first pass and in commit too.");
+  if (brute.cycles != sens.cycles || brute.cycles != event.cycles) {
+    std::printf("  ERROR: cycle counts diverged (%llu vs %llu vs %llu)\n",
                 static_cast<unsigned long long>(brute.cycles),
-                static_cast<unsigned long long>(sens.cycles));
+                static_cast<unsigned long long>(sens.cycles),
+                static_cast<unsigned long long>(event.cycles));
   }
 }
 
 void BM_WideSystemSettle(benchmark::State& state) {
-  const auto kernel = state.range(0) == 0
-                          ? sim::Simulator::Kernel::kBruteForce
-                          : sim::Simulator::Kernel::kSensitivity;
+  const auto kernel = state.range(0) == 0   ? sim::Simulator::Kernel::kBruteForce
+                      : state.range(0) == 1 ? sim::Simulator::Kernel::kSensitivity
+                                            : sim::Simulator::Kernel::kEvent;
   const isa::Program p = sparse_workload(4);
   std::uint64_t cycles = 0;
+  std::uint64_t evals = 0;
   for (auto _ : state) {
     top::System sys(wide_config());
     sys.simulator().set_kernel(kernel);
@@ -205,11 +217,23 @@ void BM_WideSystemSettle(benchmark::State& state) {
     host::Coprocessor copro(sys);
     copro.call(p);
     cycles += sys.simulator().cycle();
+    evals += sys.simulator().evals_performed();
   }
-  state.SetLabel(state.range(0) == 0 ? "brute_force" : "sensitivity");
+  state.SetLabel(state.range(0) == 0   ? "brute_force"
+                 : state.range(0) == 1 ? "sensitivity"
+                                       : "event");
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  // Scheduler-efficiency figure the CI perf smoke asserts on: average
+  // eval() calls per simulated cycle.
+  state.counters["evals_per_cycle"] = benchmark::Counter(
+      cycles == 0 ? 0.0
+                  : static_cast<double>(evals) / static_cast<double>(cycles));
 }
-BENCHMARK(BM_WideSystemSettle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WideSystemSettle)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Collect the checked-in benchmark JSON artifacts (BENCH_*.json at the
+# repo root) from a built tree.  CI's perf-smoke step runs the same
+# binaries with the same flags; regenerate these after a perf-relevant
+# change and commit the result alongside it.
+#
+# Usage: bench/collect.sh [build-dir]      (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+for b in bench_sim_kernel bench_farm; do
+  bin="$ROOT/$BUILD/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found — build the bench targets first:" >&2
+    echo "  cmake --build $BUILD -j --target $b" >&2
+    exit 1
+  fi
+  out="$ROOT/BENCH_${b#bench_}.json"
+  echo "== $b -> ${out#"$ROOT"/}"
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json
+done

@@ -45,6 +45,9 @@ class HistogramUnit : public fu::FunctionalUnit {
     if (pending_ && ports.data_acknowledge.get()) {
       pending_ = false;
       ++completed_;
+      // All state here lives in plain members the simulator cannot watch:
+      // self-report the activity so the event kernel keeps us scheduled.
+      mark_active();
     }
     if (ports.dispatch.get() && !pending_) {
       const fu::FuRequest req = ports.request.get();
@@ -75,6 +78,7 @@ class HistogramUnit : public fu::FunctionalUnit {
       out_.write_data = true;
       out_.write_flags = true;
       pending_ = true;
+      mark_active();
     }
   }
 

@@ -49,6 +49,9 @@ class CamUnit : public FunctionalUnit {
   }
 
   void commit() override {
+    if (pending_ || ports.dispatch.get()) {
+      mark_active();  // pending_/out_/entries_ are plain clocked state
+    }
     if (pending_ && ports.data_acknowledge.get()) {
       pending_ = false;
       ++completed_;

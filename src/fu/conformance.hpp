@@ -27,7 +27,11 @@ namespace fpgafu::fu {
 class ConformanceMonitor : public sim::Component {
  public:
   ConformanceMonitor(sim::Simulator& sim, std::string name, FuPorts& ports)
-      : Component(sim, std::move(name)), ports_(&ports) {}
+      : Component(sim, std::move(name)), ports_(&ports) {
+    // A protocol monitor must observe every cycle (it tracks prev-cycle
+    // port state), independent of event-kernel scheduling.
+    make_always_active();
+  }
 
   const std::vector<std::string>& violations() const { return violations_; }
   std::uint64_t dispatches() const { return dispatches_; }

@@ -50,6 +50,11 @@ class DualFsmFu : public FunctionalUnit {
   }
 
   void commit() override {
+    // All clocked state here is plain fields: self-report activity whenever
+    // the FSM is (or is about to be) off the idle state.
+    if (state_ != State::kIdle || ports.dispatch.get()) {
+      mark_active();
+    }
     switch (state_) {
       case State::kIdle:
         if (ports.dispatch.get()) {

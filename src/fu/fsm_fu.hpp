@@ -95,10 +95,10 @@ class FsmFu : public FunctionalUnit {
  private:
   StatelessFn fn_;
   std::uint32_t execute_cycles_;
-  sim::Reg<State> state_{State::kIdle};
-  sim::Reg<FuRequest> pending_req_;
-  sim::Reg<std::uint32_t> countdown_{0};
-  sim::Reg<FuResult> out_;
+  sim::Reg<State> state_{*this, State::kIdle};
+  sim::Reg<FuRequest> pending_req_{*this};
+  sim::Reg<std::uint32_t> countdown_{*this, 0};
+  sim::Reg<FuResult> out_{*this};
 };
 
 }  // namespace fpgafu::fu

@@ -62,6 +62,11 @@ class MinimalFu : public FunctionalUnit {
     if (acked) {
       ++completed_;
     }
+    if (accept || acked) {
+      // completed_ can advance without any register changing value (ack of
+      // a result identical to the previous one, with ack_forward re-accept).
+      mark_active();
+    }
     out_.tick();
     ready_.tick();
   }
@@ -75,8 +80,8 @@ class MinimalFu : public FunctionalUnit {
  private:
   StatelessFn fn_;
   bool ack_forward_;
-  sim::Reg<FuResult> out_;
-  sim::Reg<bool> ready_{false};
+  sim::Reg<FuResult> out_{*this};
+  sim::Reg<bool> ready_{*this, false};
 };
 
 }  // namespace fpgafu::fu

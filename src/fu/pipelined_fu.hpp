@@ -58,6 +58,12 @@ class PipelinedFu : public FunctionalUnit {
   }
 
   void commit() override {
+    // Anything in flight means clocked state (pipe_, fifo_, the issue
+    // spacing register) advances this cycle; a fresh dispatch starts it.
+    if (!pipe_.empty() || !fifo_.empty() || ports.dispatch.get() ||
+        since_issue_.q() < interval_) {
+      mark_active();
+    }
     // Drain: the arbiter acknowledged the head result.
     if (!fifo_.empty() && ports.data_acknowledge.get()) {
       fifo_.pop();
@@ -117,7 +123,7 @@ class PipelinedFu : public FunctionalUnit {
   std::uint32_t interval_;
   std::deque<Stage> pipe_;
   RingBuffer<FuResult> fifo_;
-  sim::Reg<std::uint32_t> since_issue_{~std::uint32_t{0} / 2};  // "long ago"
+  sim::Reg<std::uint32_t> since_issue_{*this, ~std::uint32_t{0} / 2};
 };
 
 }  // namespace fpgafu::fu

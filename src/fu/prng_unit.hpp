@@ -34,6 +34,9 @@ class PrngUnit : public FunctionalUnit {
   }
 
   void commit() override {
+    if (pending_ || ports.dispatch.get()) {
+      mark_active();  // pending_/out_/state_ are plain clocked state
+    }
     if (pending_ && ports.data_acknowledge.get()) {
       pending_ = false;
       ++completed_;

@@ -54,6 +54,9 @@ class ScratchpadUnit : public FunctionalUnit {
   }
 
   void commit() override {
+    if (pending_ || ports.dispatch.get()) {
+      mark_active();  // pending_/out_/mem_ are plain clocked state
+    }
     if (pending_ && ports.data_acknowledge.get()) {
       pending_ = false;
       ++completed_;

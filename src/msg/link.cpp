@@ -42,6 +42,9 @@ bool Link::host_send(LinkWord word) {
               depart + down_.interval + down_.latency + inj.extra_latency);
     }
   }
+  // Host-side mutation of sim-visible state (rx presentation) between
+  // cycles: schedule ourselves so the event kernel notices.
+  wake();
   return true;
 }
 
@@ -61,6 +64,8 @@ std::optional<LinkWord> Link::host_receive() {
   }
   const LinkWord w = up_queue_.front().word;
   up_queue_.pop_front();
+  // A pop can re-open a bounded upstream buffer (tx.ready).
+  wake();
   return w;
 }
 
@@ -81,6 +86,7 @@ bool Link::drained() const { return down_queue_.empty() && up_queue_.empty(); }
 
 void Link::inject_upstream(LinkWord word) {
   enqueue(up_queue_, word, simulator().cycle());
+  wake();
 }
 
 void Link::eval() {
@@ -117,6 +123,15 @@ void Link::commit() {
                 now + up_.interval + up_.latency + inj.extra_latency);
       }
     }
+  }
+  // eval() is a function of *time* while words are in flight downstream
+  // (arrival) or the serialisation interval is still running (tx.ready
+  // re-assertion — which must happen even when a faulty subclass dropped
+  // the word, leaving both queues empty): stay scheduled until the last
+  // timer expires, then go quiet.
+  if (rx.fire() || tx.fire() || !down_queue_.empty() ||
+      up_next_slot_ > simulator().cycle()) {
+    mark_active();
   }
 }
 

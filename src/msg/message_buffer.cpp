@@ -21,10 +21,12 @@ void MessageBuffer::eval() {
 }
 
 void MessageBuffer::commit() {
-  if (out.fire()) {
+  const bool do_pop = out.fire();
+  const bool do_push = in->fire();
+  if (do_pop) {
     buffer_.pop();
   }
-  if (in->fire()) {
+  if (do_push) {
     if (!have_high_) {
       high_ = in->data.get();
       have_high_ = true;
@@ -32,6 +34,9 @@ void MessageBuffer::commit() {
       buffer_.push((static_cast<isa::Word>(high_) << 32) | in->data.get());
       have_high_ = false;
     }
+  }
+  if (do_pop || do_push) {
+    mark_active();  // buffer_/high_ are clocked state the tracker cannot see
   }
 }
 

@@ -22,13 +22,18 @@ void MessageSerializer::eval() {
 }
 
 void MessageSerializer::commit() {
-  if (out->fire()) {
+  const bool do_pop = out->fire();
+  const bool do_push = in.fire();
+  if (do_pop) {
     pending_.pop();
   }
-  if (in.fire()) {
+  if (do_push) {
     for (const LinkWord w : in.data.get().to_link_words()) {
       pending_.push(w);
     }
+  }
+  if (do_pop || do_push) {
+    mark_active();  // pending_ is clocked state the tracker cannot see
   }
 }
 

@@ -53,6 +53,11 @@ class Decoder : public sim::Component {
   }
 
   void commit() override {
+    // have_/mode_/vec bookkeeping are plain clocked state: self-report
+    // whenever anything is in flight or a burst expansion is underway.
+    if (have_ || mode_ != Mode::kInstruction || in->fire()) {
+      mark_active();
+    }
     if (have_ && out.fire()) {
       have_ = false;
     }

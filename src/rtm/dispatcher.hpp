@@ -114,10 +114,15 @@ class Dispatcher : public sim::Component {
     }
     if (!in->fire()) {
       if (stall_reason_ != kNoCounter) {
+        // A stalled instruction bumps its stall counter every cycle — that
+        // is clocked activity (the differential tests compare counters), so
+        // this component must not be demoted while it stalls.
         counters_->bump(stall_reason_);
+        mark_active();
       }
       return;
     }
+    mark_active();  // a launch mutates locks/counters/trace
     const DecodedInst di = in->data.get();
     switch (route_) {
       case Route::kNone:

@@ -67,6 +67,9 @@ class Execution : public sim::Component {
   }
 
   void commit() override {
+    if (have_ || in->fire()) {
+      mark_active();  // have_/held_/executed_ are plain clocked state
+    }
     if (have_ && completing_) {
       have_ = false;
       ++executed_;

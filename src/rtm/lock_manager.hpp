@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "isa/types.hpp"
+#include "sim/component.hpp"
 #include "util/error.hpp"
 
 namespace fpgafu::rtm {
@@ -43,21 +44,25 @@ class LockManager {
     check(data_owner_.at(reg) == kFree, "double lock on data register");
     data_owner_[reg] = owner;
     ++held_;
+    notify();
   }
   void lock_flag(isa::RegNum reg, std::uint32_t owner) {
     check(flag_owner_.at(reg) == kFree, "double lock on flag register");
     flag_owner_[reg] = owner;
     ++held_;
+    notify();
   }
   void unlock_data(isa::RegNum reg) {
     check(data_owner_.at(reg) != kFree, "unlock of free data register");
     data_owner_[reg] = kFree;
     --held_;
+    notify();
   }
   void unlock_flag(isa::RegNum reg) {
     check(flag_owner_.at(reg) != kFree, "unlock of free flag register");
     flag_owner_[reg] = kFree;
     --held_;
+    notify();
   }
 
   /// Number of locks currently held; zero means every architecturally
@@ -68,10 +73,25 @@ class LockManager {
     data_owner_.assign(data_owner_.size(), kFree);
     flag_owner_.assign(flag_owner_.size(), kFree);
     held_ = 0;
+    notify();
   }
 
+  /// Lock state is shared non-Wire state, read combinationally by the
+  /// dispatcher but mutated from other components' commits (the write
+  /// arbiter) and from host-side calls.  The observer — the component whose
+  /// eval() reads it — is woken on every mutation so the event kernel's
+  /// wire tracker never misses this side channel.
+  void set_observer(sim::Component* observer) { observer_ = observer; }
+
  private:
+  void notify() {
+    if (observer_ != nullptr) {
+      observer_->wake();
+    }
+  }
+
   static constexpr std::uint32_t kFree = ~std::uint32_t{0} - 1;
+  sim::Component* observer_ = nullptr;
 
   std::vector<std::uint32_t> data_owner_;
   std::vector<std::uint32_t> flag_owner_;

@@ -44,12 +44,17 @@ class MessageEncoder : public sim::Component {
   }
 
   void commit() override {
-    if (!buffer_.empty() && out->fire()) {
+    const bool do_pop = !buffer_.empty() && out->fire();
+    const bool do_push = in->fire();
+    if (do_pop) {
       buffer_.pop();
     }
-    if (in->fire()) {
+    if (do_push) {
       buffer_.push(in->data.get());
       ++encoded_;
+    }
+    if (do_pop || do_push) {
+      mark_active();  // buffer_ is clocked state the tracker cannot see
     }
   }
 

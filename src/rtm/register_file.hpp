@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "isa/types.hpp"
+#include "sim/component.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 
@@ -39,13 +40,28 @@ class RegisterFile {
   void write(isa::RegNum reg, isa::Word value) {
     check(valid(reg), "register write out of range");
     words_[reg] = value & bits::mask(width_);
+    notify();
   }
 
-  void clear() { words_.assign(words_.size(), 0); }
+  void clear() {
+    words_.assign(words_.size(), 0);
+    notify();
+  }
+
+  /// Register contents are shared non-Wire state read combinationally by
+  /// the dispatcher; wake the observer on every mutation (see LockManager).
+  void set_observer(sim::Component* observer) { observer_ = observer; }
 
  private:
+  void notify() {
+    if (observer_ != nullptr) {
+      observer_->wake();
+    }
+  }
+
   std::vector<isa::Word> words_;
   unsigned width_;
+  sim::Component* observer_ = nullptr;
 };
 
 /// The secondary register file "holding vectors of flags, which are often
@@ -67,12 +83,26 @@ class FlagRegisterFile {
   void write(isa::RegNum reg, isa::FlagWord value) {
     check(valid(reg), "flag register write out of range");
     flags_[reg] = value;
+    notify();
   }
 
-  void clear() { flags_.assign(flags_.size(), 0); }
+  void clear() {
+    flags_.assign(flags_.size(), 0);
+    notify();
+  }
+
+  /// See RegisterFile::set_observer.
+  void set_observer(sim::Component* observer) { observer_ = observer; }
 
  private:
+  void notify() {
+    if (observer_ != nullptr) {
+      observer_->wake();
+    }
+  }
+
   std::vector<isa::FlagWord> flags_;
+  sim::Component* observer_ = nullptr;
 };
 
 }  // namespace fpgafu::rtm

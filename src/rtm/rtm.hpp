@@ -51,11 +51,22 @@ class Rtm {
     dispatcher_.bind(decoder_.out);
     execution_.bind(dispatcher_.to_exec);
     encoder_.bind_in(execution_.resp_out);
+    // The dispatcher's eval() reads the lock manager and both register
+    // files through plain member access; wake it whenever they mutate so
+    // the event kernel's wire tracker cannot miss the side channel.
+    locks_.set_observer(&dispatcher_);
+    regs_.set_observer(&dispatcher_);
+    flags_.set_observer(&dispatcher_);
   }
 
   /// Attach a functional unit under an instruction function code.
   void attach(isa::FunctionCode code, fu::FunctionalUnit& unit) {
     table_.attach(code, unit);
+    // Both the dispatcher and the arbiter iterate the table in eval();
+    // reconfiguration is a non-Wire change they must observe.
+    dispatcher_.wake();
+    arbiter_.wake();
+    unit.wake();
   }
 
   /// Detach the unit under `code` — the partial-reconfiguration analogue
@@ -76,6 +87,8 @@ class Rtm {
             "detach: unit still has a flag write in flight");
     }
     table_.detach(code);
+    dispatcher_.wake();
+    arbiter_.wake();
   }
 
   /// Bind the instruction-stream input (message buffer output).

@@ -122,6 +122,12 @@ class WriteArbiter : public sim::Component {
     if (waiting > 0) {
       counters_->bump(h_contention_, waiting);
     }
+    if (w.write_data || w.write_flags || grant_ != kNoGrant || waiting > 0) {
+      // Retirements mutate regs/flags/locks/counters (and next_); waiting
+      // units bump the contention counter every cycle — all clocked
+      // activity the wire tracker cannot see.
+      mark_active();
+    }
   }
 
   void reset() override {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_set>
 
 #include "sim/simulator.hpp"
 
@@ -19,6 +20,16 @@ namespace fpgafu::sim {
 ///    state; it must not read another component's members directly and must
 ///    not write Wires (drive outputs from `eval()` instead).
 ///  * `reset()` restores power-on state, like an asserted reset line.
+///
+/// The event kernel (`Simulator::Kernel::kEvent`) additionally relies on the
+/// *activity contract* (docs/SIMULATOR.md): any state change a `commit()`
+/// makes must be visible to the scheduler.  Registers bound to their owner
+/// (`Reg(Component&, ...)`) report changes automatically from `tick()`; every
+/// other clocked side effect — ring buffers, deques, plain FSM fields,
+/// counter bumps, trace events — must be announced with `mark_active()`.
+/// Components whose behaviour depends on something the tracker cannot see at
+/// all (free-running RNGs, per-cycle monitors, wall-clock style time checks)
+/// opt out of demotion entirely with `make_always_active()`.
 class Component {
  public:
   Component(Simulator& sim, std::string name)
@@ -37,14 +48,58 @@ class Component {
   Simulator& simulator() { return sim_; }
   const Simulator& simulator() const { return sim_; }
 
+  /// Schedule this component for evaluation and arm its commit.  Call when
+  /// state that `eval()`/`commit()` depends on changed through a non-Wire
+  /// side channel (host code poking a queue, a shared table mutation, ...).
+  /// Idempotent and cheap; safe to call at any time, from any phase.
+  void wake() { sim_.wake(*this); }
+
+  /// True if this component opted out of event-kernel demotion.
+  bool always_active() const { return always_active_; }
+
+ protected:
+  /// Announce from `commit()` that clocked state changed (or that a clocked
+  /// side effect — counter bump, trace event, buffer mutation — happened),
+  /// so the event kernel keeps this component in next cycle's wake/commit
+  /// sets.  Bound `Reg`s call this automatically on a real q-value change.
+  void mark_active() { sim_.wake(*this); }
+
+  /// Opt out of event-kernel demotion: eval and commit every cycle, exactly
+  /// as under the sensitivity kernel.  For free-running components whose
+  /// behaviour is a function of *time* or of per-cycle RNG draws rather than
+  /// of wires + registered state (monitors, VCD probes, duty-cycle drivers).
+  void make_always_active() {
+    always_active_ = true;
+    sim_.wake(*this);
+  }
+
  private:
   friend class Simulator;
+  friend class WireBase;
+  template <typename T>
+  friend class Reg;
 
   Simulator& sim_;
   std::string name_;
   /// Scheduling state of the sensitivity kernel: true while this component
   /// sits in the simulator's dirty queue awaiting re-evaluation.
   bool queued_ = false;
+  /// Event-kernel scheduling state: member of the cross-cycle wake set
+  /// (evaluate on the next cycle's first settle pass)?
+  bool woken_ = false;
+  /// Event-kernel scheduling state: member of the commit set?
+  bool commit_armed_ = false;
+  /// Exempt from event-kernel demotion (see make_always_active()).
+  bool always_active_ = false;
+  /// Registration ordinal, assigned by Simulator::add().  The event kernel
+  /// sorts its commit set by this so its commit sequence is a subsequence
+  /// of the full-commit kernels' registration-order sequence — any probe
+  /// or monitor reading other components' clocked state mid-commit then
+  /// observes identical values under every kernel.
+  std::uint64_t order_ = 0;
+  /// Wires this component is on the sensitivity list of — the O(1)
+  /// membership side of WireBase's epoch-stamped subscription.
+  std::unordered_set<const WireBase*> subscribed_;
 };
 
 }  // namespace fpgafu::sim

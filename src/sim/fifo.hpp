@@ -53,6 +53,9 @@ class HwFifo : public Component {
     if (do_push) {
       storage_.push(in.data.get());
     }
+    if (do_pop || do_push) {
+      mark_active();  // storage_ is clocked state the tracker cannot see
+    }
   }
 
   void reset() override {

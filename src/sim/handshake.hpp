@@ -21,6 +21,11 @@ struct Handshake {
   Wire<T> data;
   Wire<bool> ready;
 
+  /// True on a clock edge where both sides agree.  Uses get(), not peek():
+  /// when called from commit() under the event kernel the reads are recorded
+  /// so a later flip of either net re-arms the caller's demoted commit.
+  /// (Short-circuit is fine — `ready` unread while `valid` is low cannot
+  /// change the outcome, and the read is recorded as soon as it matters.)
   bool fire() const { return valid.get() && ready.get(); }
 
   /// Subscribe `component` to all three nets explicitly (see

@@ -1,17 +1,18 @@
 #pragma once
 
-#include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "sim/component.hpp"
 #include "sim/simulator.hpp"
 
 namespace fpgafu::sim {
 
 /// Untyped part of a Wire: identity, the owning simulator, and the
 /// sensitivity list — the set of components observed reading this wire from
-/// their `eval()`.  The sensitivity kernel re-evaluates exactly these
-/// components when the wire's value changes during a settle.
+/// their `eval()` (and, under the event kernel, from their `commit()`: a
+/// commit-time read must re-arm the reader's commit when the wire changes).
 ///
 /// The list is populated automatically: while a component's `eval()` runs,
 /// every `Wire::get()` records that component as a reader.  Recording
@@ -22,6 +23,13 @@ namespace fpgafu::sim {
 /// because `eval()` is idempotent for fixed inputs.  Components with reads
 /// the tracker cannot see (e.g. data fetched through a non-Wire side
 /// channel) can subscribe explicitly with `sensitive_to()`.
+///
+/// Recording is O(1) per read: the simulator bumps a global epoch before
+/// every recorded eval()/commit() invocation and the wire stamps it on first
+/// read, so repeat reads within one invocation dedupe on a single integer
+/// compare (plus a kept back-slot fast path); cross-invocation membership is
+/// an O(1) expected hash-set probe on the reader (`Component::subscribed_`)
+/// instead of the old O(readers) linear scan of the wire's list.
 class WireBase {
  public:
   WireBase(const WireBase&) = delete;
@@ -35,34 +43,43 @@ class WireBase {
   explicit WireBase(Simulator& sim) : sim_(&sim) { sim_->register_wire(*this); }
   ~WireBase() { sim_->unregister_wire(*this); }
 
-  /// Record the currently evaluating component (if any) as a reader.
+  /// Record the currently evaluating (or, under kEvent, committing)
+  /// component as a reader.
   void on_read() const {
-    Component* reader = sim_->reading_;
+    Component* reader = sim_->recording_reader();
     if (reader == nullptr) {
-      return;  // read from commit(), a test, or host code: not a sensitivity
+      return;  // read from a test, host code, or an untracked commit()
     }
-    // Fast path: repeated gets from the same eval() hit the back slot.
+    // O(1) dedup: only one component runs per subscription epoch, so a
+    // matching stamp means this exact read was already processed.
+    if (last_sub_epoch_ == sim_->sub_epoch_) {
+      return;
+    }
+    last_sub_epoch_ = sim_->sub_epoch_;
+    // Fast path: the most recent subscriber reading again on a later pass.
     if (!readers_.empty() && readers_.back() == reader) {
       return;
     }
     const_cast<WireBase*>(this)->subscribe(reader);
   }
 
-  /// The value changed: mark the pass dirty and queue the readers.
+  /// The value changed: mark the pass dirty and queue/wake the readers.
   void on_change() { sim_->wire_changed(*this); }
 
  private:
   friend class Simulator;
 
   void subscribe(Component* reader) {
-    if (std::find(readers_.begin(), readers_.end(), reader) ==
-        readers_.end()) {
+    if (reader->subscribed_.insert(this).second) {
       readers_.push_back(reader);
     }
   }
 
   Simulator* sim_;
   std::vector<Component*> readers_;
+  /// Last sub_epoch_ in which a read of this wire was recorded (see class
+  /// comment); mutable because get() is logically const.
+  mutable std::uint64_t last_sub_epoch_ = ~std::uint64_t{0};
 };
 
 /// A combinational signal (a VHDL wire / unregistered std_logic_vector).
@@ -94,7 +111,14 @@ class Wire : public WireBase {
   }
 
   /// Restore the power-on value (drivers re-assert during the next settle).
-  void reset() { value_ = reset_value_; }
+  /// Routed through change detection so a reset mid-activity wakes the
+  /// readers — the event kernel must never resume from a stale quiet set.
+  void reset() {
+    if (!(value_ == reset_value_)) {
+      value_ = reset_value_;
+      on_change();
+    }
+  }
 
  private:
   T value_;
@@ -105,15 +129,35 @@ class Wire : public WireBase {
 /// stages the next value and `tick()` commits it.  Components call `set_d`
 /// and `tick` from their `commit()`; keeping the d/q split explicit makes
 /// multi-read-modify-write commit code obviously order-safe.
+///
+/// A Reg that lives inside a Component must be *bound* to it with the
+/// two-argument constructor: `tick()` then performs change detection and
+/// reports a real q-value change as commit activity (`mark_active()`), which
+/// is what lets the event kernel demote components whose registers went
+/// quiet.  The unbound constructor remains for standalone use (tests,
+/// host-side modelling) where no scheduling is involved.
 template <typename T>
 class Reg {
  public:
   explicit Reg(T initial = T{})
       : q_(initial), d_(initial), reset_value_(std::move(initial)) {}
 
+  /// Bind to the owning component (see class comment).
+  explicit Reg(Component& owner, T initial = T{})
+      : q_(initial),
+        d_(initial),
+        reset_value_(std::move(initial)),
+        owner_(&owner) {}
+
   const T& q() const { return q_; }
   void set_d(T v) { d_ = std::move(v); }
-  void tick() { q_ = d_; }
+
+  void tick() {
+    if (owner_ != nullptr && !(q_ == d_)) {
+      owner_->mark_active();
+    }
+    q_ = d_;
+  }
 
   void reset() {
     q_ = reset_value_;
@@ -124,6 +168,7 @@ class Reg {
   T q_;
   T d_;
   T reset_value_;
+  Component* owner_ = nullptr;
 };
 
 }  // namespace fpgafu::sim

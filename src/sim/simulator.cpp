@@ -1,22 +1,65 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "sim/component.hpp"
 #include "sim/signal.hpp"
 
 namespace fpgafu::sim {
 
-void Simulator::add(Component& component) { components_.push_back(&component); }
+namespace {
+
+Simulator::Kernel default_kernel() {
+  // Cached: getenv once per process.  `FPGAFU_KERNEL` lets CI run the whole
+  // suite under a non-default kernel without touching every test.
+  static const Simulator::Kernel kernel = [] {
+    const char* env = std::getenv("FPGAFU_KERNEL");
+    if (env == nullptr) {
+      return Simulator::Kernel::kSensitivity;
+    }
+    const std::string_view v(env);
+    if (v == "brute") {
+      return Simulator::Kernel::kBruteForce;
+    }
+    if (v == "event") {
+      return Simulator::Kernel::kEvent;
+    }
+    return Simulator::Kernel::kSensitivity;
+  }();
+  return kernel;
+}
+
+}  // namespace
+
+Simulator::Simulator() : kernel_(default_kernel()) {}
+
+void Simulator::add(Component& component) {
+  component.order_ = next_order_++;
+  components_.push_back(&component);
+  // A freshly constructed component has never run: wake it and arm its
+  // commit so the event kernel evaluates and commits it at least once.
+  wake(component);
+}
 
 void Simulator::remove(Component& component) {
   components_.erase(
       std::remove(components_.begin(), components_.end(), &component),
       components_.end());
-  // The component may sit in the dirty queue and on sensitivity lists of
-  // wires it does not own; purge both so no dangling pointer survives it.
+  // The component may sit in the dirty queue, the cross-cycle wake/commit
+  // sets, and on sensitivity lists of wires it does not own; purge all so no
+  // dangling pointer survives it.
   queue_.erase(std::remove(queue_.begin(), queue_.end(), &component),
                queue_.end());
+  wake_set_.erase(std::remove(wake_set_.begin(), wake_set_.end(), &component),
+                  wake_set_.end());
+  commit_set_.erase(
+      std::remove(commit_set_.begin(), commit_set_.end(), &component),
+      commit_set_.end());
+  commit_work_.erase(
+      std::remove(commit_work_.begin(), commit_work_.end(), &component),
+      commit_work_.end());
   for (WireBase* w : wires_) {
     w->readers_.erase(
         std::remove(w->readers_.begin(), w->readers_.end(), &component),
@@ -27,6 +70,11 @@ void Simulator::remove(Component& component) {
 void Simulator::register_wire(WireBase& wire) { wires_.push_back(&wire); }
 
 void Simulator::unregister_wire(WireBase& wire) {
+  // Readers hold this wire in their O(1) membership sets; drop it there too
+  // so a later wire at the same address cannot alias a stale subscription.
+  for (Component* reader : wire.readers_) {
+    reader->subscribed_.erase(&wire);
+  }
   wires_.erase(std::remove(wires_.begin(), wires_.end(), &wire), wires_.end());
 }
 
@@ -45,11 +93,42 @@ void Simulator::clear_queue() {
   requeue_all_ = false;
 }
 
+void Simulator::arm_commit(Component& component) {
+  if (!component.commit_armed_) {
+    component.commit_armed_ = true;
+    commit_set_.push_back(&component);
+  }
+}
+
+void Simulator::wake(Component& component) {
+  if (settling_) {
+    // Mid-settle: fold the component into the current fixed-point search.
+    enqueue(component);
+  } else if (!component.woken_) {
+    component.woken_ = true;
+    wake_set_.push_back(&component);
+  }
+  arm_commit(component);
+}
+
+void Simulator::wake_all() {
+  for (Component* c : components_) {
+    wake(*c);
+  }
+}
+
 void Simulator::wire_changed(WireBase& wire) {
   changed_ = true;
   if (kernel_ == Kernel::kSensitivity) {
     for (Component* reader : wire.readers_) {
       enqueue(*reader);
+    }
+  } else if (kernel_ == Kernel::kEvent) {
+    // Re-schedule the readers' evals (this settle if we are inside one,
+    // next cycle otherwise) and re-promote their commits: a recorded input
+    // changed, so a demoted commit may now act.
+    for (Component* reader : wire.readers_) {
+      wake(*reader);
     }
   }
 }
@@ -57,6 +136,19 @@ void Simulator::wire_changed(WireBase& wire) {
 void Simulator::note_change() {
   changed_ = true;
   requeue_all_ = true;
+  if (kernel_ == Kernel::kEvent) {
+    // Untracked change: conservatively wake + commit-arm everything.  Inside
+    // a settle, requeue_all_ already forces a full eval pass; the wake_all()
+    // covers the commit set (and, between cycles, the next first pass).
+    wake_all();
+  }
+}
+
+void Simulator::set_kernel(Kernel kernel) {
+  kernel_ = kernel;
+  // The event kernel must never inherit a quiet set built by another kernel
+  // (which does not maintain one): start from everything-active.
+  wake_all();
 }
 
 void Simulator::reset() {
@@ -70,12 +162,28 @@ void Simulator::reset() {
   // step() cannot leak a stale flag or queue entry into the first settle.
   changed_ = false;
   clear_queue();
+  // Drop all cross-cycle activity state and rebuild it as everything-active:
+  // after a reset the event kernel must re-observe the whole design.
+  wake_set_.clear();
+  commit_set_.clear();
+  for (Component* c : components_) {
+    c->woken_ = false;
+    c->commit_armed_ = false;
+  }
+  wake_all();
+}
+
+void Simulator::run_eval(Component& component) {
+  reading_ = &component;
+  ++sub_epoch_;
+  component.eval();
+  ++evals_;
 }
 
 /// Sensitivity-scheduled settle: pass 1 evaluates every component (their
 /// registered state may have changed at the previous commit, which the wire
 /// tracker cannot see); every further pass drains only the components whose
-/// recorded input wires changed in the pass before.  Both kernels count a
+/// recorded input wires changed in the pass before.  All kernels count a
 /// pass the same way, so `settle_limit_` and `max_settle_iterations()` keep
 /// their meaning, and a combinational loop keeps re-queueing its components
 /// until the limit trips exactly as the brute-force kernel would.
@@ -83,17 +191,17 @@ void Simulator::settle_sensitivity() {
   // Stray dirty state from between cycles (direct Wire::set by a test or
   // host) is fully absorbed by the full first pass.
   clear_queue();
+  settling_ = true;
   unsigned iterations = 1;
   changed_ = false;
   for (Component* c : components_) {
-    reading_ = c;
-    c->eval();
-    ++evals_;
+    run_eval(*c);
   }
   reading_ = nullptr;
   while (!queue_.empty() || requeue_all_) {
     if (++iterations > settle_limit_) {
       clear_queue();
+      settling_ = false;
       throw SimError("combinational loop: signals did not settle within " +
                      std::to_string(settle_limit_) + " iterations");
     }
@@ -104,9 +212,7 @@ void Simulator::settle_sensitivity() {
       // An untracked note_change(): fall back to a full pass.
       clear_queue();
       for (Component* c : components_) {
-        reading_ = c;
-        c->eval();
-        ++evals_;
+        run_eval(*c);
       }
     } else {
       work_.clear();
@@ -115,13 +221,12 @@ void Simulator::settle_sensitivity() {
         c->queued_ = false;
       }
       for (Component* c : work_) {
-        reading_ = c;
-        c->eval();
-        ++evals_;
+        run_eval(*c);
       }
     }
     reading_ = nullptr;
   }
+  settling_ = false;
   max_settle_ = std::max(max_settle_, iterations);
 }
 
@@ -142,6 +247,63 @@ void Simulator::settle_brute_force() {
   max_settle_ = std::max(max_settle_, iterations);
 }
 
+/// Event-driven settle: the first pass evaluates only the cross-cycle wake
+/// set — components woken by a wire change since the previous settle, an
+/// explicit wake(), a commit that reported activity, or reset()/add().
+/// Subsequent passes are the same dirty-queue drain as settle_sensitivity.
+/// Sound by the same induction as the sensitivity kernel, extended across
+/// the clock edge: a quiet component's eval() output can only change after
+/// one of its recorded inputs changes or its own registered state changes
+/// (which its previous commit reported as activity) — and each such event
+/// wakes it.
+void Simulator::settle_event() {
+  clear_queue();
+  settling_ = true;
+  unsigned iterations = 1;
+  changed_ = false;
+  work_.clear();
+  work_.swap(wake_set_);
+  for (Component* c : work_) {
+    c->woken_ = false;
+  }
+  for (Component* c : work_) {
+    run_eval(*c);
+  }
+  reading_ = nullptr;
+  while (!queue_.empty() || requeue_all_) {
+    if (++iterations > settle_limit_) {
+      clear_queue();
+      settling_ = false;
+      // Leave a recoverable scheduler state behind the throw: the caller
+      // may raise the limit and continue stepping.
+      wake_all();
+      throw SimError("combinational loop: signals did not settle within " +
+                     std::to_string(settle_limit_) + " iterations");
+    }
+    const bool evaluate_all = requeue_all_;
+    requeue_all_ = false;
+    changed_ = false;
+    if (evaluate_all) {
+      clear_queue();
+      for (Component* c : components_) {
+        run_eval(*c);
+      }
+    } else {
+      work_.clear();
+      work_.swap(queue_);
+      for (Component* c : work_) {
+        c->queued_ = false;
+      }
+      for (Component* c : work_) {
+        run_eval(*c);
+      }
+    }
+    reading_ = nullptr;
+  }
+  settling_ = false;
+  max_settle_ = std::max(max_settle_, iterations);
+}
+
 void Simulator::step() {
   // Thread-affinity contract (see the class comment): only the owning
   // thread may advance the clock.  host::Farm satisfies this by
@@ -150,13 +312,49 @@ void Simulator::step() {
          "sim::Simulator is thread-affine: step() called off the owner "
          "thread (construct the System on the thread that drives it, or "
          "rebind_owner() at a quiescent hand-off)");
-  if (kernel_ == Kernel::kSensitivity) {
-    settle_sensitivity();
-  } else {
-    settle_brute_force();
+  switch (kernel_) {
+    case Kernel::kSensitivity:
+      settle_sensitivity();
+      break;
+    case Kernel::kBruteForce:
+      settle_brute_force();
+      break;
+    case Kernel::kEvent:
+      settle_event();
+      break;
   }
-  for (Component* c : components_) {
-    c->commit();
+  if (kernel_ == Kernel::kEvent) {
+    // Run only armed commits.  Each component is provisionally demoted; it
+    // stays in the (fresh) commit set only if its commit reported activity
+    // (bound Reg change or mark_active(), both of which wake()), a wire it
+    // read gets changed later, someone wakes it, or it opted out of
+    // demotion.  Commit-time wire reads are recorded (recording_reader())
+    // so conditional commit read sets stay conservative, exactly like
+    // eval sensitivities.
+    commit_work_.clear();
+    commit_work_.swap(commit_set_);
+    // Registration order, so the armed subsequence commits in exactly the
+    // order the full-commit kernels would (skipped components are by
+    // definition unchanged): probes reading non-wire state mid-commit see
+    // kernel-independent values.
+    std::sort(commit_work_.begin(), commit_work_.end(),
+              [](const Component* a, const Component* b) {
+                return a->order_ < b->order_;
+              });
+    for (Component* c : commit_work_) {
+      c->commit_armed_ = false;
+      committing_ = c;
+      ++sub_epoch_;
+      c->commit();
+      if (c->always_active_) {
+        wake(*c);
+      }
+    }
+    committing_ = nullptr;
+  } else {
+    for (Component* c : components_) {
+      c->commit();
+    }
   }
   ++cycle_;
 }

@@ -28,26 +28,44 @@ class WireBase;
 ///      genuine combinational loop fails to converge and raises SimError,
 ///      the moral equivalent of the synthesis error it would produce in
 ///      VHDL.
-///   2. *Commit*: every component's `commit()` (clocked logic) runs once;
-///      commits read Wires and the component's own pre-commit state only, so
-///      commit order is immaterial — all registers update "simultaneously"
-///      exactly as flip-flops do on a clock edge.
+///   2. *Commit*: component `commit()` (clocked logic) runs once per
+///      committed component; commits read Wires and the component's own
+///      pre-commit state only, so commit order is immaterial — all registers
+///      update "simultaneously" exactly as flip-flops do on a clock edge.
 ///
-/// Two settle kernels implement phase 1 (see `Kernel`):
+/// Three settle/commit kernels implement the cycle (see `Kernel`):
 ///
-///   * `kSensitivity` (default): the first pass of each cycle evaluates
-///     every component (registered state may have changed at the previous
-///     commit), and Wire reads made during any `eval()` are recorded as
-///     sensitivities.  Subsequent passes re-evaluate only the components
-///     whose input wires actually changed — a dirty work-queue, the same
-///     idea as an event-driven HDL simulator's sensitivity lists.  Because
-///     `eval()` is required to be a pure function of wires + registered
-///     state, skipping a component whose recorded inputs are unchanged
-///     cannot alter the fixed point.
-///   * `kBruteForce`: the original kernel — every pass re-runs every
-///     component until a pass changes nothing.  Kept as the reference
-///     implementation; the differential tests pin the two kernels to
-///     bit-identical architectural behaviour.
+///   * `kSensitivity` (default): the first settle pass of each cycle
+///     evaluates every component (registered state may have changed at the
+///     previous commit), and Wire reads made during any `eval()` are
+///     recorded as sensitivities.  Subsequent passes re-evaluate only the
+///     components whose input wires actually changed — a dirty work-queue,
+///     the same idea as an event-driven HDL simulator's sensitivity lists.
+///     Because `eval()` is required to be a pure function of wires +
+///     registered state, skipping a component whose recorded inputs are
+///     unchanged cannot alter the fixed point.  Every `commit()` runs every
+///     cycle.
+///   * `kEvent`: activity tracking carried *across* the clock edge.  The
+///     first settle pass evaluates only components in the persistent wake
+///     set — woken by a Wire change during the previous cycle, by an
+///     explicit `Component::wake()`, or by `note_change()`'s conservative
+///     requeue; subsequent passes drain the same dirty queue as
+///     `kSensitivity`.  The commit phase runs only "clocked-active"
+///     components: a component whose last `commit()` reported no activity
+///     (no bound-`Reg` change, no `mark_active()`) is demoted from the
+///     commit set and re-promoted when any wire it was observed reading —
+///     in `eval()` *or* `commit()` — changes, or when it is woken.  Sound
+///     because `commit()` is a pure function of wires + registered state:
+///     re-running it with neither changed is the identity.  Idle hardware
+///     costs zero host cycles.
+///   * `kBruteForce`: the original kernel — every settle pass re-runs every
+///     component until a pass changes nothing, and every commit runs every
+///     cycle.  Kept as the reference implementation; differential tests pin
+///     all kernels to bit-identical architectural behaviour.
+///
+/// The environment variable `FPGAFU_KERNEL` (`brute` | `sensitivity` |
+/// `event`) overrides the construction-time default — used by CI to run the
+/// whole suite under a non-default kernel.
 ///
 /// **Thread affinity.**  A Simulator — and everything built on it: every
 /// Component, the whole top::System — belongs to exactly one thread, the
@@ -63,9 +81,10 @@ class Simulator {
   enum class Kernel {
     kSensitivity,  ///< dirty-queue scheduled settle (default)
     kBruteForce,   ///< evaluate every component every pass (reference)
+    kEvent,        ///< cross-cycle wake/commit sets: skip idle components
   };
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -76,7 +95,9 @@ class Simulator {
 
   /// Assert reset on every component, rewind the cycle counter and drop any
   /// pending dirty state (stray Wire writes between reset() and the first
-  /// step() must not leak into the first settle pass).
+  /// step() must not leak into the first settle pass).  All cross-cycle
+  /// activity state is dropped too: after reset every component is woken and
+  /// commit-armed, so the event kernel cannot start from a stale quiet set.
   void reset();
 
   /// Advance one clock cycle (settle + commit).
@@ -103,7 +124,9 @@ class Simulator {
 
   /// Select the settle kernel.  Call only at a cycle boundary (between
   /// steps); the dirty queue of a half-settled cycle does not transfer.
-  void set_kernel(Kernel kernel) { kernel_ = kernel; }
+  /// Switching wakes every component so the event kernel never inherits a
+  /// quiet set it did not build itself.
+  void set_kernel(Kernel kernel);
   Kernel kernel() const { return kernel_; }
 
   /// Largest number of settle iterations any cycle has needed so far.
@@ -114,9 +137,17 @@ class Simulator {
   /// Upper bound on settle iterations before declaring a combinational loop.
   void set_settle_limit(unsigned limit) { settle_limit_ = limit; }
 
-  /// Components currently queued for re-evaluation.  Zero at every cycle
-  /// boundary and after reset() — tests assert this invariant.
+  /// Components currently queued for re-evaluation *within* a settle.  Zero
+  /// at every cycle boundary and after reset() — tests assert this
+  /// invariant.  (The event kernel's cross-cycle wake set is intentionally
+  /// not included: a pending wake is normal between-cycle state.)
   std::size_t pending_reevals() const { return queue_.size(); }
+
+  /// Event-kernel introspection: components in the cross-cycle wake set
+  /// (will be evaluated on the next cycle's first settle pass) and in the
+  /// commit set (will have commit() run next cycle).
+  std::size_t wake_set_size() const { return wake_set_.size(); }
+  std::size_t commit_set_size() const { return commit_set_.size(); }
 
   /// The thread this simulator is affine to (see the class comment).
   std::thread::id owner_thread() const { return owner_; }
@@ -126,20 +157,26 @@ class Simulator {
   /// (and everything built on it) before the new owner starts.
   void rebind_owner() { owner_ = std::this_thread::get_id(); }
 
-  /// Total component eval() calls across all settle passes (both kernels).
-  /// The sensitivity kernel's win is visible as a lower count for the same
+  /// Total component eval() calls across all settle passes (all kernels).
+  /// A scheduled kernel's win is visible as a lower count for the same
   /// cycle count; bench_sim_kernel reports the ratio.
   std::uint64_t evals_performed() const { return evals_; }
 
   /// Called on any Wire value change; marks the settle pass dirty and, under
-  /// the sensitivity kernel, queues the wire's recorded readers.
+  /// the scheduled kernels, queues/wakes the wire's recorded readers (under
+  /// kEvent their commits are re-armed too).
   void wire_changed(WireBase& wire);
 
   /// Legacy entry point for code that signals a change without a WireBase
   /// (kept for custom components); forces the conservative path: the pass is
-  /// marked dirty and, under the sensitivity kernel, every component is
-  /// re-evaluated next pass.
+  /// marked dirty and every component is re-evaluated next pass (under
+  /// kEvent, every component is also woken and commit-armed).
   void note_change();
+
+  /// Schedule `component` for evaluation and arm its commit (see
+  /// Component::wake()).  During a settle this re-queues it into the current
+  /// fixed-point search; between cycles it joins the next cycle's wake set.
+  void wake(Component& component);
 
  private:
   friend class Component;
@@ -149,20 +186,40 @@ class Simulator {
   void unregister_wire(WireBase& wire);
   void enqueue(Component& component);
   void clear_queue();
+  void arm_commit(Component& component);
+  void wake_all();
+  void run_eval(Component& component);
   void settle_sensitivity();
   void settle_brute_force();
+  void settle_event();
+
+  /// The component whose reads should currently be recorded as
+  /// subscriptions: the eval() being settled, or — under kEvent only — the
+  /// commit() being run (commit-time reads must re-arm commits).
+  Component* recording_reader() const {
+    return reading_ != nullptr ? reading_ : committing_;
+  }
 
   std::vector<Component*> components_;
   std::vector<WireBase*> wires_;
   std::vector<Component*> queue_;  ///< components to re-evaluate next pass
   std::vector<Component*> work_;   ///< pass currently being drained
-  Component* reading_ = nullptr;   ///< component whose eval() is running
+  std::vector<Component*> wake_set_;     ///< kEvent: evaluate next cycle
+  std::vector<Component*> commit_set_;   ///< kEvent: commit next cycle
+  std::vector<Component*> commit_work_;  ///< kEvent: commits being run
+  Component* reading_ = nullptr;    ///< component whose eval() is running
+  Component* committing_ = nullptr;  ///< kEvent: component whose commit() runs
   std::thread::id owner_ = std::this_thread::get_id();
   std::uint64_t cycle_ = 0;
+  std::uint64_t next_order_ = 0;  ///< registration ordinals for Components
   std::uint64_t reset_generation_ = 0;
   std::uint64_t evals_ = 0;
+  /// Bumped before every recorded eval()/commit() invocation; wires stamp it
+  /// on first read so repeat reads in the same invocation are O(1) no-ops.
+  std::uint64_t sub_epoch_ = 0;
   bool changed_ = false;
   bool requeue_all_ = false;  ///< set by note_change(): untracked change
+  bool settling_ = false;     ///< inside a settle (wake() targets this cycle)
   Kernel kernel_ = Kernel::kSensitivity;
   unsigned settle_limit_ = 64;
   unsigned max_settle_ = 0;

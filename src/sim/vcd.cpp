@@ -18,7 +18,11 @@ std::string vcd_id(std::size_t index) {
 }  // namespace
 
 VcdWriter::VcdWriter(Simulator& sim, std::ostream& os, unsigned timescale_ns)
-    : Component(sim, "vcd_writer"), os_(&os), timescale_ns_(timescale_ns) {}
+    : Component(sim, "vcd_writer"), os_(&os), timescale_ns_(timescale_ns) {
+  // A waveform probe must sample every cycle regardless of scheduler
+  // activity, or the dump depends on the kernel.
+  make_always_active();
+}
 
 void VcdWriter::probe(const std::string& name, unsigned width,
                       std::function<std::uint64_t()> getter) {

@@ -18,6 +18,9 @@ class HwXsortEngine::Driver : public sim::Component {
   fu::FuResult issue(const fu::FuRequest& req) {
     pending_ = req;
     result_.reset();
+    // Host-side mutation between cycles: schedule ourselves so the event
+    // kernel re-evaluates the dispatch drive.
+    wake();
     simulator().run_until([&] { return result_.has_value(); }, 100000);
     return *result_;
   }
@@ -35,9 +38,11 @@ class HwXsortEngine::Driver : public sim::Component {
   void commit() override {
     if (ports_->dispatch.get() && ports_->idle.get()) {
       pending_.reset();
+      mark_active();  // pending_ feeds eval()'s dispatch drive
     }
     if (ports_->data_ready.get() && ports_->data_acknowledge.get()) {
       result_ = ports_->result.get();
+      mark_active();
     }
   }
 

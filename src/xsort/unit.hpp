@@ -41,6 +41,11 @@ class XsortUnit : public fu::FunctionalUnit {
   }
 
   void commit() override {
+    // The controller FSM, the microprogram counter and the cell array are
+    // all plain clocked state: self-report whenever the unit is running.
+    if (state_ != State::kIdle || ports.dispatch.get()) {
+      mark_active();
+    }
     switch (state_) {
       case State::kIdle:
         if (ports.dispatch.get()) {

@@ -39,6 +39,9 @@ class MisbehavingFu : public FunctionalUnit {
   }
 
   void commit() override {
+    if (pending_ || ports.dispatch.get()) {
+      mark_active();  // pending_/pending_age_/out_ are plain members
+    }
     if (pending_) {
       ++pending_age_;
     }

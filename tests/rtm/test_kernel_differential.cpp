@@ -1,19 +1,29 @@
-// Differential pinning of the two settle kernels (sim::Simulator::Kernel):
-// the sensitivity-scheduled kernel must be *bit-identical* to the
-// brute-force reference in everything architecturally observable — same
-// responses, same register/flag files, same cycle counts, same statistics
-// counters.  The sensitivity kernel is allowed to differ only in how much
-// work it performs (fewer eval() calls).
+// Differential pinning of the three settle kernels (sim::Simulator::Kernel):
+// the sensitivity-scheduled kernel and the event-driven kernel must both be
+// *bit-identical* to the brute-force reference in everything architecturally
+// observable — same responses, same register/flag files, same cycle counts,
+// same statistics counters, byte-identical waveforms.  The scheduled kernels
+// are allowed to differ only in how much work they perform (fewer eval()
+// calls), and the event kernel must not do more work than the sensitivity
+// kernel it extends.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "host/reference_model.hpp"
+#include "host/reliable_transport.hpp"
+#include "host/xsort_system_engine.hpp"
+#include "sim/vcd.hpp"
 #include "support/program_gen.hpp"
 #include "support/rtm_harness.hpp"
+#include "top/system.hpp"
+#include "util/rng.hpp"
+#include "xsort/algorithm.hpp"
 
 namespace fpgafu::rtm {
 namespace {
@@ -22,6 +32,21 @@ using fpgafu::testing::ProgramGenOptions;
 using fpgafu::testing::random_program;
 using fpgafu::testing::RtmRig;
 
+constexpr sim::Simulator::Kernel kAllKernels[] = {
+    sim::Simulator::Kernel::kBruteForce,
+    sim::Simulator::Kernel::kSensitivity,
+    sim::Simulator::Kernel::kEvent,
+};
+
+const char* kernel_name(sim::Simulator::Kernel k) {
+  switch (k) {
+    case sim::Simulator::Kernel::kBruteForce: return "brute-force";
+    case sim::Simulator::Kernel::kSensitivity: return "sensitivity";
+    case sim::Simulator::Kernel::kEvent: return "event";
+  }
+  return "?";
+}
+
 struct KernelRun {
   std::vector<msg::Response> responses;
   std::vector<isa::Word> regs;
@@ -29,13 +54,29 @@ struct KernelRun {
   std::uint64_t cycles = 0;
   std::uint64_t evals = 0;
   std::map<std::string, std::uint64_t> counters;
+  std::string vcd;
 };
 
 KernelRun run_under(sim::Simulator::Kernel kernel, const rtm::RtmConfig& cfg,
-                    fu::Skeleton skeleton, const isa::Program& program) {
+                    fu::Skeleton skeleton, const isa::Program& program,
+                    bool with_vcd = false) {
   RtmRig rig(cfg, skeleton);
   rig.sim.set_kernel(kernel);
   KernelRun out;
+  std::ostringstream vcd_os;
+  std::unique_ptr<sim::VcdWriter> vcd;
+  if (with_vcd) {
+    vcd = std::make_unique<sim::VcdWriter>(rig.sim, vcd_os, 20);
+    vcd->probe("instr_valid", 1,
+               [&] { return rig.instr_ch.valid.get() ? 1u : 0u; });
+    vcd->probe("instr_ready", 1,
+               [&] { return rig.instr_ch.ready.get() ? 1u : 0u; });
+    vcd->probe("resp_valid", 1,
+               [&] { return rig.resp_ch.valid.get() ? 1u : 0u; });
+    vcd->probe("resp_ready", 1,
+               [&] { return rig.resp_ch.ready.get() ? 1u : 0u; });
+    vcd->probe("r3", 32, [&] { return rig.rtm.regs().read(3); });
+  }
   out.responses = rig.run_program(program);
   for (std::size_t r = 0; r < cfg.data_regs; ++r) {
     out.regs.push_back(rig.rtm.regs().read(static_cast<isa::RegNum>(r)));
@@ -46,7 +87,26 @@ KernelRun run_under(sim::Simulator::Kernel kernel, const rtm::RtmConfig& cfg,
   out.cycles = rig.sim.cycle();
   out.evals = rig.sim.evals_performed();
   out.counters = rig.rtm.counters().all();
+  out.vcd = vcd_os.str();
   return out;
+}
+
+void expect_identical(const KernelRun& got, const KernelRun& ref,
+                      sim::Simulator::Kernel kernel) {
+  const std::string who = kernel_name(kernel);
+  ASSERT_EQ(got.responses.size(), ref.responses.size()) << who;
+  for (std::size_t i = 0; i < got.responses.size(); ++i) {
+    EXPECT_EQ(got.responses[i], ref.responses[i])
+        << "response " << i << ": " << who << " "
+        << msg::to_string(got.responses[i]) << " vs brute-force "
+        << msg::to_string(ref.responses[i]);
+  }
+  EXPECT_EQ(got.regs, ref.regs) << who;
+  EXPECT_EQ(got.flags, ref.flags) << who;
+  EXPECT_EQ(got.cycles, ref.cycles) << who;
+  EXPECT_EQ(got.counters, ref.counters) << who;
+  // Scheduled kernels must not do MORE work than evaluate-everything.
+  EXPECT_LE(got.evals, ref.evals) << who;
 }
 
 struct KernelDiffCase {
@@ -57,7 +117,7 @@ struct KernelDiffCase {
 
 class KernelDifferential : public ::testing::TestWithParam<KernelDiffCase> {};
 
-TEST_P(KernelDifferential, SensitivityKernelMatchesBruteForce) {
+TEST_P(KernelDifferential, ScheduledKernelsMatchBruteForce) {
   const KernelDiffCase c = GetParam();
   rtm::RtmConfig cfg;
   cfg.data_regs = 16;
@@ -68,24 +128,19 @@ TEST_P(KernelDifferential, SensitivityKernelMatchesBruteForce) {
   opt.include_errors = c.errors;
   const isa::Program program = random_program(cfg, c.seed, opt);
 
-  const KernelRun sens = run_under(sim::Simulator::Kernel::kSensitivity, cfg,
-                                   c.skeleton, program);
   const KernelRun brute = run_under(sim::Simulator::Kernel::kBruteForce, cfg,
                                     c.skeleton, program);
+  const KernelRun sens = run_under(sim::Simulator::Kernel::kSensitivity, cfg,
+                                   c.skeleton, program);
+  const KernelRun event = run_under(sim::Simulator::Kernel::kEvent, cfg,
+                                    c.skeleton, program);
 
-  ASSERT_EQ(sens.responses.size(), brute.responses.size());
-  for (std::size_t i = 0; i < sens.responses.size(); ++i) {
-    EXPECT_EQ(sens.responses[i], brute.responses[i])
-        << "response " << i << ": sensitivity "
-        << msg::to_string(sens.responses[i]) << " vs brute-force "
-        << msg::to_string(brute.responses[i]);
-  }
-  EXPECT_EQ(sens.regs, brute.regs);
-  EXPECT_EQ(sens.flags, brute.flags);
-  EXPECT_EQ(sens.cycles, brute.cycles);
-  EXPECT_EQ(sens.counters, brute.counters);
-  // The scheduled kernel must not do MORE work than evaluate-everything.
-  EXPECT_LE(sens.evals, brute.evals);
+  expect_identical(sens, brute, sim::Simulator::Kernel::kSensitivity);
+  expect_identical(event, brute, sim::Simulator::Kernel::kEvent);
+  // The event kernel extends the sensitivity kernel's bookkeeping across
+  // the clock edge; it must never evaluate more than within-cycle
+  // scheduling alone does.
+  EXPECT_LE(event.evals, sens.evals);
 }
 
 std::vector<KernelDiffCase> make_cases() {
@@ -116,6 +171,142 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(sk) + "_seed" + std::to_string(pinfo.param.seed) +
              (pinfo.param.errors ? "_faulty" : "");
     });
+
+// The waveform is the strictest observer: every probed net, every cycle it
+// changes.  All three kernels must produce byte-identical VCD output.
+TEST(KernelDifferential, VcdWaveformsAreByteIdenticalAcrossKernels) {
+  rtm::RtmConfig cfg;
+  cfg.data_regs = 16;
+  cfg.flag_regs = 4;
+  const isa::Program program =
+      random_program(cfg, 0xace, {.instructions = 120});
+
+  const KernelRun brute =
+      run_under(sim::Simulator::Kernel::kBruteForce, cfg,
+                fu::Skeleton::kFsm, program, /*with_vcd=*/true);
+  for (const auto kernel : {sim::Simulator::Kernel::kSensitivity,
+                            sim::Simulator::Kernel::kEvent}) {
+    const KernelRun got =
+        run_under(kernel, cfg, fu::Skeleton::kFsm, program, /*with_vcd=*/true);
+    ASSERT_FALSE(got.vcd.empty());
+    EXPECT_EQ(got.vcd, brute.vcd) << kernel_name(kernel);
+  }
+}
+
+// Full-system differential: host driver, CRC framing, fault-injecting link
+// with retries, message buffers, RTM and units.  Responses, cycle counts and
+// both the host-side transport.* and device-side rtm counters must agree
+// across all three kernels.
+TEST(KernelDifferential, FullSystemWithFaultyLinkMatchesAcrossKernels) {
+  rtm::RtmConfig rcfg;
+  rcfg.data_regs = 12;
+  rcfg.flag_regs = 4;
+
+  struct SystemRun {
+    std::vector<msg::Response> responses;
+    std::uint64_t cycles = 0;
+    std::map<std::string, std::uint64_t> transport;
+    std::map<std::string, std::uint64_t> rtm;
+  };
+  const auto run_system = [&](sim::Simulator::Kernel kernel) {
+    top::SystemConfig cfg;
+    cfg.rtm = rcfg;
+    msg::FaultConfig f;
+    f.seed = 0xfee1;
+    f.up.drop_ppm = 30'000;
+    f.up.corrupt_ppm = 30'000;
+    f.up.duplicate_ppm = 30'000;
+    f.up.jitter_max = 3;
+    f.down.jitter_max = 2;
+    cfg.link_faults = f;
+    top::System sys(cfg);
+    sys.simulator().set_kernel(kernel);
+    host::Coprocessor copro(sys);
+    host::ReliableTransport transport(copro);
+    const isa::Program program = random_program(rcfg, 0xcafe,
+                                                {.instructions = 60});
+    SystemRun out;
+    out.responses = transport.call(program);
+    out.cycles = sys.simulator().cycle();
+    out.transport = transport.counters().all();
+    out.rtm = sys.rtm().counters().all();
+    return out;
+  };
+
+  const SystemRun brute = run_system(sim::Simulator::Kernel::kBruteForce);
+  ASSERT_FALSE(brute.responses.empty());
+  for (const auto kernel : {sim::Simulator::Kernel::kSensitivity,
+                            sim::Simulator::Kernel::kEvent}) {
+    const SystemRun got = run_system(kernel);
+    EXPECT_EQ(got.responses, brute.responses) << kernel_name(kernel);
+    EXPECT_EQ(got.cycles, brute.cycles) << kernel_name(kernel);
+    EXPECT_EQ(got.transport, brute.transport) << kernel_name(kernel);
+    EXPECT_EQ(got.rtm, brute.rtm) << kernel_name(kernel);
+  }
+}
+
+// The χ-sort system is the stateful-unit stress case: a cell array whose
+// components mostly sit idle between operations — exactly what the event
+// kernel skips.  Results, cycle counts and rtm counters must be identical.
+TEST(KernelDifferential, XsortSystemMatchesAcrossKernels) {
+  struct XsortRun {
+    std::vector<std::uint64_t> sorted;
+    std::uint64_t median = 0;
+    std::uint64_t cycles = 0;
+    std::map<std::string, std::uint64_t> rtm;
+  };
+  const auto run_xsort = [](sim::Simulator::Kernel kernel) {
+    top::SystemConfig cfg;
+    cfg.with_xsort = true;
+    cfg.xsort.cells = 32;
+    cfg.xsort.interval_bits = 16;
+    top::System sys(cfg);
+    sys.simulator().set_kernel(kernel);
+    host::SystemXsortEngine eng(sys);
+    xsort::XsortAlgorithm algo(eng);
+    Xoshiro256 rng(0xbeef);
+    std::vector<std::uint64_t> vals(32);
+    for (auto& v : vals) {
+      v = rng.below(10'000);
+    }
+    XsortRun out;
+    out.sorted = algo.sort(vals);
+    algo.load(vals);
+    out.median = algo.select(16);
+    out.cycles = sys.simulator().cycle();
+    out.rtm = sys.rtm().counters().all();
+    return out;
+  };
+
+  const XsortRun brute = run_xsort(sim::Simulator::Kernel::kBruteForce);
+  for (const auto kernel : {sim::Simulator::Kernel::kSensitivity,
+                            sim::Simulator::Kernel::kEvent}) {
+    const XsortRun got = run_xsort(kernel);
+    EXPECT_EQ(got.sorted, brute.sorted) << kernel_name(kernel);
+    EXPECT_EQ(got.median, brute.median) << kernel_name(kernel);
+    EXPECT_EQ(got.cycles, brute.cycles) << kernel_name(kernel);
+    EXPECT_EQ(got.rtm, brute.rtm) << kernel_name(kernel);
+  }
+}
+
+// Randomized soak: the event kernel alone against the host-side reference
+// model, across more seeds and larger programs than the three-way matrix
+// (one simulation per seed instead of three keeps it cheap).
+TEST(KernelDifferential, EventKernelSoakAgainstReferenceModel) {
+  rtm::RtmConfig cfg;
+  cfg.data_regs = 16;
+  cfg.flag_regs = 4;
+  for (std::uint64_t seed = 0x900; seed < 0x908; ++seed) {
+    ProgramGenOptions opt;
+    opt.instructions = 300;
+    opt.include_errors = (seed % 2) == 1;
+    const isa::Program program = random_program(cfg, seed, opt);
+    const KernelRun event = run_under(sim::Simulator::Kernel::kEvent, cfg,
+                                      fu::Skeleton::kFsm, program);
+    const auto expected = host::ReferenceModel(cfg).run(program);
+    EXPECT_EQ(event.responses, expected) << "seed " << seed;
+  }
+}
 
 }  // namespace
 }  // namespace fpgafu::rtm

@@ -47,6 +47,9 @@ class CooldownFu : public fu::FunctionalUnit {
   }
 
   void commit() override {
+    if (state_ != State::kIdle || ports.dispatch.get()) {
+      mark_active();  // FSM state lives in plain members
+    }
     switch (state_) {
       case State::kIdle:
         if (ports.dispatch.get()) {

@@ -20,7 +20,10 @@ class Strober : public Component {
     strobe.set(value_ % 4 == 3);
     count.set(value_);
   }
-  void commit() override { ++value_; }
+  void commit() override {
+    ++value_;
+    mark_active();  // value_ is plain state the tracker cannot see
+  }
   void reset() override { value_ = 0; }
   std::uint64_t value_ = 0;
 };

@@ -27,7 +27,10 @@ class FuDriver : public sim::Component {
         ports_(&ports),
         ack_num_(ack_duty_num),
         ack_den_(ack_duty_den),
-        rng_(seed) {}
+        rng_(seed) {
+    // The ack-duty RNG draws every cycle; keep in lock-step across kernels.
+    make_always_active();
+  }
 
   void enqueue(const fu::FuRequest& req) { queue_.push_back(req); }
 

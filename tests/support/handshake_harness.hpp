@@ -26,7 +26,11 @@ class Producer : public sim::Component {
         items_(items.begin(), items.end()),
         duty_num_(duty_num),
         duty_den_(duty_den),
-        rng_(seed) {}
+        rng_(seed) {
+    // The duty-cycle RNG draws every cycle; demoting this component would
+    // desynchronise the stall pattern across kernels.
+    make_always_active();
+  }
 
   sim::Handshake<T>* out = nullptr;
 
@@ -75,7 +79,11 @@ class Consumer : public sim::Component {
       : Component(sim, std::move(name)),
         duty_num_(duty_num),
         duty_den_(duty_den),
-        rng_(seed) {}
+        rng_(seed) {
+    // Same as Producer: per-cycle RNG draw, keep in lock-step with the
+    // reference kernels.
+    make_always_active();
+  }
 
   sim::Handshake<T>* in = nullptr;
 
