@@ -118,6 +118,7 @@ BENCHMARK(BM_AreaEstimation);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_skeleton_area();
   print_fifo_sweep();
   print_xsort_scaling();

@@ -105,6 +105,7 @@ void register_shard_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   fpgafu::bench::section(
       "E10", "farm throughput scaling (programs/s vs shard count)");
   fpgafu::bench::note(

@@ -125,6 +125,7 @@ BENCHMARK(BM_SkeletonSimThroughput)
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_protocol_table();
   print_initiation_interval_table();
   benchmark::Initialize(&argc, argv);

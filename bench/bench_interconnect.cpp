@@ -296,6 +296,7 @@ BENCHMARK(BM_RoundTrip)->Arg(0)->Arg(1)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_tables();
   print_burst_table();
   print_batching_table();

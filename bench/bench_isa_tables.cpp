@@ -181,6 +181,7 @@ BENCHMARK(BM_AssembleLine);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_table_31();
   print_table_32();
   print_shift_table();

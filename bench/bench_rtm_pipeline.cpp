@@ -268,6 +268,7 @@ BENCHMARK(BM_RtmBurstSimulation)->Arg(64)->Arg(512);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_throughput_table();
   print_hazard_table();
   print_arbiter_ablation();

@@ -238,6 +238,7 @@ BENCHMARK(BM_WideSystemSettle)
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_kernel_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

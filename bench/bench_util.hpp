@@ -1,12 +1,66 @@
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 
 /// Shared helpers for the benchmark/reproduction harness.  Each bench
 /// binary regenerates its experiment's table(s) (see DESIGN.md §5) before
 /// running its google-benchmark timings.
 namespace fpgafu::bench {
+
+/// Build type of the *bench binary* (not of the installed google-benchmark
+/// library, whose self-reported `library_build_type` reflects how the
+/// distro package was compiled — on Debian's libbenchmark that is "debug"
+/// regardless of our flags).  NDEBUG is what CMake's Release/RelWithDebInfo
+/// configurations define; measuring without it is measuring the wrong
+/// program.
+#ifdef NDEBUG
+inline constexpr const char kBuildType[] = "release";
+#else
+inline constexpr const char kBuildType[] = "debug";
+#endif
+
+/// Mandatory first call in every bench main(), before
+/// benchmark::Initialize:
+///  * refuses to run a debug (non-NDEBUG) build unless `--allow-debug` is
+///    on the command line — perf numbers from unoptimised builds are noise,
+///    and a silently-debug bench is exactly how the perf trajectory went
+///    wrong once already;
+///  * strips `--allow-debug` from argv so google-benchmark never sees it;
+///  * records the binary's actual build type and the machine's
+///    hardware_concurrency in the benchmark context, so every BENCH_*.json
+///    carries both (bench/collect.sh asserts on them).
+inline void init(int* argc, char** argv) {
+  bool allow_debug = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-debug") == 0) {
+      allow_debug = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (std::strcmp(kBuildType, "debug") == 0 && !allow_debug) {
+    std::fprintf(stderr,
+                 "error: this bench binary was compiled without NDEBUG "
+                 "(build type: debug).\n"
+                 "Performance numbers from unoptimised builds are noise; "
+                 "build with\n  cmake -DCMAKE_BUILD_TYPE=Release\n"
+                 "(bench/collect.sh does this for you) or pass "
+                 "--allow-debug to run anyway.\n");
+    std::exit(2);
+  }
+  benchmark::AddCustomContext("fpgafu_build_type", kBuildType);
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+}
 
 inline void section(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

@@ -180,6 +180,7 @@ BENCHMARK(BM_SoftXsortSort)->Arg(64)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_per_op_table();
   print_sort_table();
   print_selection_table();

@@ -174,6 +174,7 @@ BENCHMARK(BM_NthElement)->Arg(1024)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
   print_sort_comparison();
   print_selection_comparison();
   print_per_round_comparison();

@@ -1,23 +1,100 @@
 #!/usr/bin/env bash
 # Collect the checked-in benchmark JSON artifacts (BENCH_*.json at the
-# repo root) from a built tree.  CI's perf-smoke step runs the same
-# binaries with the same flags; regenerate these after a perf-relevant
-# change and commit the result alongside it.
+# repo root).  CI's perf-smoke step runs the same binaries with the same
+# flags; regenerate these after a perf-relevant change and commit the
+# result alongside it.
 #
-# Usage: bench/collect.sh [build-dir]      (default: build)
+# This script OWNS the build it measures: it configures and builds a
+# dedicated Release tree (default: build-bench/) rather than trusting
+# whatever ./build happens to contain.  The perf trajectory was once
+# polluted by numbers from an unoptimised tree that nothing ever
+# checked; now three layers refuse to let that happen again:
+#   1. this script configures -DCMAKE_BUILD_TYPE=Release;
+#   2. every bench binary self-reports its build type (NDEBUG-derived)
+#      in the JSON context as `fpgafu_build_type` and exits(2) when it
+#      was compiled without NDEBUG, unless passed --allow-debug;
+#   3. the post-processing below asserts `library_build_type` ==
+#      "release" in every artifact it writes.
+#
+# Note on `library_build_type`: google-benchmark fills that field from
+# how the *benchmark library* was compiled, and distro packages (e.g.
+# Debian's libbenchmark) often ship it as "debug" no matter how our
+# code was built.  Since what we care about is the build type of the
+# code under test, the field is normalised from the binary's own
+# `fpgafu_build_type`; the library's raw answer is preserved as
+# `benchmark_library_build_type`.
+#
+# Usage: bench/collect.sh [build-dir]      (default: build-bench)
 set -euo pipefail
 
-BUILD="${1:-build}"
+BUILD="${1:-build-bench}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCHES=(bench_sim_kernel bench_farm bench_hpcc)
 
-for b in bench_sim_kernel bench_farm; do
-  bin="$ROOT/$BUILD/bench/$b"
-  if [ ! -x "$bin" ]; then
-    echo "error: $bin not found — build the bench targets first:" >&2
-    echo "  cmake --build $BUILD -j --target $b" >&2
+# Refuse to take over a tree that is configured as something else —
+# reconfiguring it behind the user's back would silently flip their dev
+# tree to Release with tests/examples off.
+if [ -f "$ROOT/$BUILD/CMakeCache.txt" ]; then
+  ACTUAL="$(grep -E '^CMAKE_BUILD_TYPE:' "$ROOT/$BUILD/CMakeCache.txt" | cut -d= -f2)"
+  if [ "$ACTUAL" != "Release" ]; then
+    echo "error: $BUILD/ already exists and is configured as '$ACTUAL', not Release." >&2
+    echo "This script owns the tree it measures; pass a fresh directory" >&2
+    echo "(default: build-bench) instead of a development build tree." >&2
     exit 1
   fi
+fi
+
+echo "== configuring $BUILD (Release)"
+cmake -B "$ROOT/$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DFPGAFU_BUILD_TESTS=OFF \
+  -DFPGAFU_BUILD_EXAMPLES=OFF >/dev/null
+
+ACTUAL="$(grep -E '^CMAKE_BUILD_TYPE:' "$ROOT/$BUILD/CMakeCache.txt" | cut -d= -f2)"
+if [ "$ACTUAL" != "Release" ]; then
+  echo "error: $BUILD ended up configured as '$ACTUAL', not Release." >&2
+  echo "Remove $BUILD/ (or pass a different build dir) and rerun." >&2
+  exit 1
+fi
+
+echo "== building ${BENCHES[*]}"
+cmake --build "$ROOT/$BUILD" -j "$(nproc)" --target "${BENCHES[@]}" >/dev/null
+
+for b in "${BENCHES[@]}"; do
+  bin="$ROOT/$BUILD/bench/$b"
   out="$ROOT/BENCH_${b#bench_}.json"
   echo "== $b -> ${out#"$ROOT"/}"
   "$bin" --benchmark_out="$out" --benchmark_out_format=json
+
+  # Normalise and assert the build-type / machine context (see header).
+  python3 - "$out" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+ctx = doc["context"]
+
+build_type = ctx.get("fpgafu_build_type")
+if build_type != "release":
+    sys.exit(f"{path}: bench binary self-reported fpgafu_build_type="
+             f"{build_type!r}, expected 'release' — refusing to check in "
+             "numbers from an unoptimised build")
+if "hardware_concurrency" not in ctx:
+    sys.exit(f"{path}: missing hardware_concurrency in benchmark context")
+
+raw = ctx.get("library_build_type")
+if raw is not None and raw != build_type:
+    ctx["benchmark_library_build_type"] = raw
+ctx["library_build_type"] = build_type
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"   library_build_type={ctx['library_build_type']} "
+      f"hardware_concurrency={ctx['hardware_concurrency']}"
+      + (f" (benchmark lib itself built as {raw})" if raw != build_type else ""))
+EOF
 done

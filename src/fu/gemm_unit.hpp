@@ -1,0 +1,267 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "fu/functional_unit.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace fpgafu::fu {
+
+/// Blocked matrix-multiply functional unit built on the thesis §2.3.4
+/// *performance-optimised* (pipelined) skeleton: an in-order command
+/// pipeline in front of an output FIFO, with destination bookkeeping
+/// reserved at dispatch time so the FIFO can never overflow and the
+/// datapath never stalls.
+///
+/// The unit holds three block-RAM panels — A (m×k), B (k×n) and a C
+/// accumulator (m×n) — sized at construction.  A host-side blocking driver
+/// streams panels in, triggers a compute sweep, and reads the C block back,
+/// tiling a larger GEMM out of these block operations (the shape of the
+/// HPC Challenge GEMM kernel on an FPGA with limited on-chip memory).
+///
+/// Operations (variety code; address in operand1, data in operand2):
+///   kConfig — set the active block dims from operand1
+///             (m = bits [23:16], n = [15:8], k = [7:0]); error when a dim
+///             is zero or exceeds the constructed capacity;
+///   kLoadA  — A[addr] <- data (row-major m×k);   result = data;
+///   kLoadB  — B[addr] <- data (row-major k×n);   result = data;
+///   kStart  — C[i][j] += Σ_p A[i][p]·B[p][j] over the active dims;
+///             result = the number of MACs performed (m·n·k);
+///   kReadC  — result = C[addr];
+///   kClearC — every C word <- 0 (hardware clear);  result = 0.
+/// Out-of-range addresses and unknown varieties set the error flag
+/// (destination contents undefined).
+///
+/// Timing: the command pipeline has `pipeline_depth` register stages and
+/// initiation interval 1, so loads/reads stream at one per cycle after the
+/// fill.  kStart occupies the MAC pipeline for `pipeline_depth + m·n·k`
+/// cycles — a fully pipelined multiply-accumulate datapath retiring one
+/// MAC per clock after the fill.  Commands retire strictly in order, so a
+/// load issued behind a kStart mutates its panel only after the sweep has
+/// used the old contents (sequential consistency for the host driver).
+class GemmUnit : public FunctionalUnit {
+ public:
+  static constexpr isa::VarietyCode kConfig = 0x01;
+  static constexpr isa::VarietyCode kLoadA = 0x02;
+  static constexpr isa::VarietyCode kLoadB = 0x03;
+  static constexpr isa::VarietyCode kStart = 0x04;
+  static constexpr isa::VarietyCode kReadC = 0x05;
+  static constexpr isa::VarietyCode kClearC = 0x06;
+
+  /// Pack block dims into a kConfig operand1 word.
+  static constexpr isa::Word config_word(std::size_t m, std::size_t n,
+                                         std::size_t k) {
+    return (static_cast<isa::Word>(m & 0xff) << 16) |
+           (static_cast<isa::Word>(n & 0xff) << 8) |
+           static_cast<isa::Word>(k & 0xff);
+  }
+
+  GemmUnit(sim::Simulator& sim, std::string name, std::size_t max_m,
+           std::size_t max_n, std::size_t max_k,
+           std::uint32_t pipeline_depth = 4, std::size_t fifo_capacity = 8,
+           unsigned width = 64)
+      : FunctionalUnit(sim, std::move(name)),
+        a_(max_m * max_k, 0),
+        b_(max_k * max_n, 0),
+        c_(max_m * max_n, 0),
+        max_m_(max_m),
+        max_n_(max_n),
+        max_k_(max_k),
+        m_(max_m),
+        n_(max_n),
+        k_(max_k),
+        depth_(pipeline_depth),
+        width_(width),
+        fifo_(fifo_capacity) {
+    check(max_m >= 1 && max_n >= 1 && max_k >= 1,
+          "GEMM block capacities must all be >= 1");
+    check(max_m <= 255 && max_n <= 255 && max_k <= 255,
+          "GEMM block capacities must fit the 8-bit kConfig dim fields");
+    check(pipeline_depth >= 1, "pipeline depth must be >= 1");
+    check(fifo_capacity > pipeline_depth,
+          "FIFO must hold more elements than there are pipeline stages "
+          "(thesis 2.3.4 sizing rule)");
+  }
+
+  std::size_t m() const { return m_; }
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+  std::size_t in_flight() const { return pipe_.size(); }
+  std::size_t buffered() const { return fifo_.size(); }
+
+  /// Direct test/debug access (the host path goes through instructions).
+  isa::Word peek_a(std::size_t addr) const { return a_.at(addr); }
+  isa::Word peek_b(std::size_t addr) const { return b_.at(addr); }
+  isa::Word peek_c(std::size_t addr) const { return c_.at(addr); }
+
+  void eval() override {
+    // Reserved slots: results already buffered plus commands that will land
+    // in the FIFO when they retire from the pipeline (reserved at dispatch,
+    // the pipelined skeleton's no-overflow invariant).
+    const std::size_t reserved = fifo_.size() + pipe_.size();
+    ports.idle.set(reserved < fifo_.capacity());
+    ports.data_ready.set(!fifo_.empty());
+    if (!fifo_.empty()) {
+      ports.result.set(fifo_.front());
+    }
+  }
+
+  void commit() override {
+    if (!pipe_.empty() || !fifo_.empty() || ports.dispatch.get()) {
+      mark_active();  // pipe_/fifo_/panel state are plain clocked state
+    }
+    // Drain: the arbiter acknowledged the head result.
+    if (!fifo_.empty() && ports.data_acknowledge.get()) {
+      fifo_.pop();
+      ++completed_;
+    }
+    // Advance the pipeline.  Stages have heterogeneous latency (a kStart
+    // sweep occupies the MAC pipeline far longer than a load), so each
+    // counts down independently but retirement stays strictly in order.
+    for (auto& stage : pipe_) {
+      if (stage.remaining > 0) {
+        --stage.remaining;
+      }
+    }
+    while (!pipe_.empty() && pipe_.front().remaining == 0) {
+      fifo_.push(retire(pipe_.front().request));
+      pipe_.pop_front();
+    }
+    // Accept a new command (the dispatcher honoured `idle`).
+    const std::size_t reserved = fifo_.size() + pipe_.size();
+    if (ports.dispatch.get() && reserved < fifo_.capacity()) {
+      pipe_.push_back({ports.request.get(), latency(ports.request.get())});
+    }
+  }
+
+  void reset() override {
+    FunctionalUnit::reset();
+    a_.assign(a_.size(), 0);
+    b_.assign(b_.size(), 0);
+    c_.assign(c_.size(), 0);
+    m_ = max_m_;
+    n_ = max_n_;
+    k_ = max_k_;
+    pipe_.clear();
+    fifo_.clear();
+  }
+
+ private:
+  struct Stage {
+    FuRequest request;
+    std::uint64_t remaining;
+  };
+
+  std::uint64_t latency(const FuRequest& req) const {
+    if (req.variety == kStart) {
+      // Pipelined MAC datapath: fill + one MAC retired per clock.
+      return depth_ + static_cast<std::uint64_t>(m_) * n_ * k_;
+    }
+    return depth_;
+  }
+
+  /// Execute a command at retirement.  All architectural state (panels,
+  /// accumulator, active dims) mutates here, in retirement order.
+  FuResult retire(const FuRequest& req) {
+    const isa::Word addr = req.operand1;
+    const isa::Word data = req.operand2 & bits::mask(width_);
+    isa::Word result = 0;
+    bool error = false;
+    switch (req.variety) {
+      case kConfig: {
+        const std::size_t m = static_cast<std::size_t>((addr >> 16) & 0xff);
+        const std::size_t n = static_cast<std::size_t>((addr >> 8) & 0xff);
+        const std::size_t k = static_cast<std::size_t>(addr & 0xff);
+        if (m >= 1 && n >= 1 && k >= 1 && m <= max_m_ && n <= max_n_ &&
+            k <= max_k_) {
+          m_ = m;
+          n_ = n;
+          k_ = k;
+          result = config_word(m, n, k);
+        } else {
+          error = true;  // active dims unchanged
+        }
+        break;
+      }
+      case kLoadA:
+        if (addr < m_ * k_) {
+          a_[addr] = data;
+          result = data;
+        } else {
+          error = true;
+        }
+        break;
+      case kLoadB:
+        if (addr < k_ * n_) {
+          b_[addr] = data;
+          result = data;
+        } else {
+          error = true;
+        }
+        break;
+      case kStart: {
+        const std::uint64_t msk = bits::mask(width_);
+        for (std::size_t i = 0; i < m_; ++i) {
+          for (std::size_t j = 0; j < n_; ++j) {
+            isa::Word acc = c_[i * n_ + j];
+            for (std::size_t p = 0; p < k_; ++p) {
+              acc = (acc + a_[i * k_ + p] * b_[p * n_ + j]) & msk;
+            }
+            c_[i * n_ + j] = acc;
+          }
+        }
+        result = static_cast<isa::Word>(m_) * n_ * k_;
+        break;
+      }
+      case kReadC:
+        if (addr < m_ * n_) {
+          result = c_[addr];
+        } else {
+          error = true;
+        }
+        break;
+      case kClearC:
+        c_.assign(c_.size(), 0);
+        result = 0;
+        break;
+      default:
+        error = true;
+        break;
+    }
+    FuResult r;
+    r.data = result;
+    r.flags = 0;
+    if (result == 0) {
+      r.flags |= isa::FlagWord{1} << isa::flag::kZero;
+    }
+    if (error) {
+      r.flags |= isa::FlagWord{1} << isa::flag::kError;
+    }
+    r.dst_reg = req.dst_reg;
+    r.dst_flag_reg = req.dst_flag_reg;
+    r.write_data = true;
+    r.write_flags = true;
+    return r;
+  }
+
+  std::vector<isa::Word> a_;
+  std::vector<isa::Word> b_;
+  std::vector<isa::Word> c_;
+  std::size_t max_m_;
+  std::size_t max_n_;
+  std::size_t max_k_;
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t k_;
+  std::uint32_t depth_;
+  unsigned width_;
+  std::deque<Stage> pipe_;
+  RingBuffer<FuResult> fifo_;
+};
+
+}  // namespace fpgafu::fu
