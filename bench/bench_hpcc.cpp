@@ -12,8 +12,8 @@
 //   b_eff         link efficiency vs message size, clean and faulty link
 //
 // Each workload validates its results against a host oracle (or the
-// sequential reference model) and runs under all three pinned settle
-// kernels; a validation failure aborts the benchmark.  CI's perf smoke
+// sequential reference model) and runs under every pinned settle
+// kernel; a validation failure aborts the benchmark.  CI's perf smoke
 // asserts a STREAM-triad throughput floor under the event kernel from
 // this binary's JSON output.
 
@@ -37,7 +37,8 @@ hpcc::Kernel kernel_of(std::int64_t arg) {
   switch (arg) {
     case 0: return hpcc::Kernel::kBruteForce;
     case 1: return hpcc::Kernel::kSensitivity;
-    default: return hpcc::Kernel::kEvent;
+    case 2: return hpcc::Kernel::kEvent;
+    default: return hpcc::Kernel::kLevelized;
   }
 }
 
@@ -90,7 +91,7 @@ void add_result_row(TextTable& t, const hpcc::WorkloadResult& r,
 
 void print_suite_tables() {
   bench::section("E12",
-                 "HPCC-style macro workloads (oracle-validated, all three "
+                 "HPCC-style macro workloads (oracle-validated, all four "
                  "settle kernels)");
   bench::note("STREAM 3x256 words, RandomAccess 256-word table / 512 "
               "updates, GEMM 16x16 (4x4 blocks), b_eff 1..128-word "
@@ -114,11 +115,11 @@ void print_suite_tables() {
   bench::note("jobs/cycle is simulated-hardware efficiency; jobs/s is "
               "host-side simulation speed.");
 
-  bench::section("E12b", "b_eff link efficiency vs message size (event "
+  bench::section("E12b", "b_eff link efficiency vs message size (levelized "
                          "kernel; payload words per cycle, both directions)");
   TextTable bt({"message words", "clean cycles", "clean words/cycle",
                 "faulty cycles", "faulty words/cycle"});
-  const auto& clean = beff_clean.back();   // event kernel (last pushed)
+  const auto& clean = beff_clean.back();   // levelized kernel (last pushed)
   const auto& faulty = beff_faulty.back();
   for (std::size_t i = 0; i < clean.points.size(); ++i) {
     const auto& cp = clean.points[i];
@@ -170,7 +171,12 @@ void BM_HpccStream(benchmark::State& state) {
           ? 0.0
           : static_cast<double>(triad_jobs) / static_cast<double>(triad_cycles);
 }
-BENCHMARK(BM_HpccStream)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HpccStream)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HpccRandomAccess(benchmark::State& state) {
   const auto kernel = kernel_of(state.range(0));
@@ -198,6 +204,7 @@ BENCHMARK(BM_HpccRandomAccess)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 void BM_HpccGemm(benchmark::State& state) {
@@ -221,7 +228,12 @@ void BM_HpccGemm(benchmark::State& state) {
       cycles == 0 ? 0.0
                   : static_cast<double>(macs) / static_cast<double>(cycles);
 }
-BENCHMARK(BM_HpccGemm)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HpccGemm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HpccBeff(benchmark::State& state) {
   const auto kernel = kernel_of(state.range(0));
@@ -255,9 +267,11 @@ BENCHMARK(BM_HpccBeff)
     ->Args({0, 0})
     ->Args({1, 0})
     ->Args({2, 0})
+    ->Args({3, 0})
     ->Args({0, 1})
     ->Args({1, 1})
     ->Args({2, 1})
+    ->Args({3, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -148,16 +148,12 @@ void verify_vector(const std::vector<isa::Word>& got,
 }  // namespace
 
 std::vector<Kernel> all_kernels() {
-  return {Kernel::kBruteForce, Kernel::kSensitivity, Kernel::kEvent};
+  return std::vector<Kernel>(sim::Simulator::kAllKernels.begin(),
+                             sim::Simulator::kAllKernels.end());
 }
 
 const char* kernel_name(Kernel kernel) {
-  switch (kernel) {
-    case Kernel::kBruteForce: return "brute";
-    case Kernel::kSensitivity: return "sensitivity";
-    case Kernel::kEvent: return "event";
-  }
-  return "?";
+  return sim::Simulator::kernel_name(kernel);
 }
 
 // ---------------------------------------------------------------------------

@@ -135,7 +135,7 @@ struct BeffOutcome {
 };
 BeffOutcome run_beff(Kernel kernel, const BeffConfig& cfg = {});
 
-/// The three pinned settle kernels, in calibration order.
+/// Every pinned settle kernel, in calibration order (Simulator::kAllKernels).
 std::vector<Kernel> all_kernels();
 const char* kernel_name(Kernel kernel);
 

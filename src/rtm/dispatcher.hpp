@@ -77,6 +77,14 @@ class Dispatcher : public sim::Component {
     }
     route_ = plan.route;
     stall_reason_ = plan.stall_reason;
+    // The routing decision may have *annotated* an error onto the exec
+    // packet (unknown function code, dual-output register fault) that the
+    // decoder's copy of the instruction does not carry; commit() must lock
+    // against the annotated view, or it would take a destination lock for a
+    // faulting instruction whose writes never land — and since the
+    // execution stage only releases locks for successful writes, that lock
+    // would leak and wedge quiescence forever.
+    exec_error_ = plan.packet.di.error;
 
     for (std::uint32_t i = 0; i < table_->size(); ++i) {
       if (!table_->slot_active(i)) {
@@ -141,13 +149,16 @@ class Dispatcher : public sim::Component {
         }
         break;
       }
-      case Route::kToExec:
-        lock_for_exec(di);
+      case Route::kToExec: {
+        DecodedInst annotated = di;
+        annotated.error = exec_error_;
+        lock_for_exec(annotated);
         counters_->bump(h_dispatch_exec_);
         if (trace_ != nullptr) {
           trace_->event(simulator().cycle(), "dispatch.exec", di.seq);
         }
         break;
+      }
     }
   }
 
@@ -155,6 +166,7 @@ class Dispatcher : public sim::Component {
     to_exec.reset();
     route_ = Route::kNone;
     stall_reason_ = kNoCounter;
+    exec_error_ = msg::ErrorCode::kNone;
   }
 
  private:
@@ -330,6 +342,9 @@ class Dispatcher : public sim::Component {
   sim::EventTrace* trace_ = nullptr;
   Route route_ = Route::kNone;
   sim::Counters::Handle stall_reason_ = kNoCounter;
+  /// Error the routing decision annotated onto the exec packet this cycle
+  /// (kNone when the instruction is clean); see eval().
+  msg::ErrorCode exec_error_ = msg::ErrorCode::kNone;
 };
 
 }  // namespace fpgafu::rtm

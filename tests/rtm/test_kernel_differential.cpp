@@ -1,11 +1,14 @@
-// Differential pinning of the three settle kernels (sim::Simulator::Kernel):
-// the sensitivity-scheduled kernel and the event-driven kernel must both be
-// *bit-identical* to the brute-force reference in everything architecturally
-// observable — same responses, same register/flag files, same cycle counts,
-// same statistics counters, byte-identical waveforms.  The scheduled kernels
-// are allowed to differ only in how much work they perform (fewer eval()
-// calls), and the event kernel must not do more work than the sensitivity
-// kernel it extends.
+// Differential pinning of the settle kernels (sim::Simulator::Kernel): every
+// scheduled kernel — sensitivity, event, levelized — must be *bit-identical*
+// to the brute-force reference in everything architecturally observable —
+// same responses, same register/flag files, same cycle counts, same
+// statistics counters, byte-identical waveforms.  The scheduled kernels are
+// allowed to differ only in how much work they perform (fewer eval() calls),
+// and the event kernel must not do more work than the sensitivity kernel it
+// extends.
+//
+// The kernel list lives in ONE place — sim::Simulator::kAllKernels — so a
+// fifth kernel is pinned by this whole file the moment it is added there.
 
 #include <gtest/gtest.h>
 
@@ -32,19 +35,21 @@ using fpgafu::testing::ProgramGenOptions;
 using fpgafu::testing::random_program;
 using fpgafu::testing::RtmRig;
 
-constexpr sim::Simulator::Kernel kAllKernels[] = {
-    sim::Simulator::Kernel::kBruteForce,
-    sim::Simulator::Kernel::kSensitivity,
-    sim::Simulator::Kernel::kEvent,
-};
+using sim::Simulator;
 
-const char* kernel_name(sim::Simulator::Kernel k) {
-  switch (k) {
-    case sim::Simulator::Kernel::kBruteForce: return "brute-force";
-    case sim::Simulator::Kernel::kSensitivity: return "sensitivity";
-    case sim::Simulator::Kernel::kEvent: return "event";
+const char* kernel_name(Simulator::Kernel k) { return Simulator::kernel_name(k); }
+
+/// Every kernel except the brute-force reference, in Simulator::kAllKernels
+/// order.  All matrix tests iterate this, so a new kernel is covered by the
+/// entire file as soon as it appears in kAllKernels.
+std::vector<Simulator::Kernel> scheduled_kernels() {
+  std::vector<Simulator::Kernel> out;
+  for (const auto k : Simulator::kAllKernels) {
+    if (k != Simulator::Kernel::kBruteForce) {
+      out.push_back(k);
+    }
   }
-  return "?";
+  return out;
 }
 
 struct KernelRun {
@@ -128,19 +133,22 @@ TEST_P(KernelDifferential, ScheduledKernelsMatchBruteForce) {
   opt.include_errors = c.errors;
   const isa::Program program = random_program(cfg, c.seed, opt);
 
-  const KernelRun brute = run_under(sim::Simulator::Kernel::kBruteForce, cfg,
+  const KernelRun brute = run_under(Simulator::Kernel::kBruteForce, cfg,
                                     c.skeleton, program);
-  const KernelRun sens = run_under(sim::Simulator::Kernel::kSensitivity, cfg,
+  const KernelRun sens = run_under(Simulator::Kernel::kSensitivity, cfg,
                                    c.skeleton, program);
-  const KernelRun event = run_under(sim::Simulator::Kernel::kEvent, cfg,
-                                    c.skeleton, program);
-
-  expect_identical(sens, brute, sim::Simulator::Kernel::kSensitivity);
-  expect_identical(event, brute, sim::Simulator::Kernel::kEvent);
-  // The event kernel extends the sensitivity kernel's bookkeeping across
-  // the clock edge; it must never evaluate more than within-cycle
-  // scheduling alone does.
-  EXPECT_LE(event.evals, sens.evals);
+  for (const auto kernel : scheduled_kernels()) {
+    if (kernel == Simulator::Kernel::kSensitivity) {
+      expect_identical(sens, brute, kernel);
+      continue;
+    }
+    const KernelRun got = run_under(kernel, cfg, c.skeleton, program);
+    expect_identical(got, brute, kernel);
+    // The event and levelized kernels extend the sensitivity kernel's
+    // bookkeeping across the clock edge; they must never evaluate more than
+    // within-cycle scheduling alone does.
+    EXPECT_LE(got.evals, sens.evals) << kernel_name(kernel);
+  }
 }
 
 std::vector<KernelDiffCase> make_cases() {
@@ -173,7 +181,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // The waveform is the strictest observer: every probed net, every cycle it
-// changes.  All three kernels must produce byte-identical VCD output.
+// changes.  All kernels must produce byte-identical VCD output.
 TEST(KernelDifferential, VcdWaveformsAreByteIdenticalAcrossKernels) {
   rtm::RtmConfig cfg;
   cfg.data_regs = 16;
@@ -182,10 +190,9 @@ TEST(KernelDifferential, VcdWaveformsAreByteIdenticalAcrossKernels) {
       random_program(cfg, 0xace, {.instructions = 120});
 
   const KernelRun brute =
-      run_under(sim::Simulator::Kernel::kBruteForce, cfg,
+      run_under(Simulator::Kernel::kBruteForce, cfg,
                 fu::Skeleton::kFsm, program, /*with_vcd=*/true);
-  for (const auto kernel : {sim::Simulator::Kernel::kSensitivity,
-                            sim::Simulator::Kernel::kEvent}) {
+  for (const auto kernel : scheduled_kernels()) {
     const KernelRun got =
         run_under(kernel, cfg, fu::Skeleton::kFsm, program, /*with_vcd=*/true);
     ASSERT_FALSE(got.vcd.empty());
@@ -196,7 +203,7 @@ TEST(KernelDifferential, VcdWaveformsAreByteIdenticalAcrossKernels) {
 // Full-system differential: host driver, CRC framing, fault-injecting link
 // with retries, message buffers, RTM and units.  Responses, cycle counts and
 // both the host-side transport.* and device-side rtm counters must agree
-// across all three kernels.
+// across all kernels.
 TEST(KernelDifferential, FullSystemWithFaultyLinkMatchesAcrossKernels) {
   rtm::RtmConfig rcfg;
   rcfg.data_regs = 12;
@@ -208,7 +215,7 @@ TEST(KernelDifferential, FullSystemWithFaultyLinkMatchesAcrossKernels) {
     std::map<std::string, std::uint64_t> transport;
     std::map<std::string, std::uint64_t> rtm;
   };
-  const auto run_system = [&](sim::Simulator::Kernel kernel) {
+  const auto run_system = [&](Simulator::Kernel kernel) {
     top::SystemConfig cfg;
     cfg.rtm = rcfg;
     msg::FaultConfig f;
@@ -233,10 +240,9 @@ TEST(KernelDifferential, FullSystemWithFaultyLinkMatchesAcrossKernels) {
     return out;
   };
 
-  const SystemRun brute = run_system(sim::Simulator::Kernel::kBruteForce);
+  const SystemRun brute = run_system(Simulator::Kernel::kBruteForce);
   ASSERT_FALSE(brute.responses.empty());
-  for (const auto kernel : {sim::Simulator::Kernel::kSensitivity,
-                            sim::Simulator::Kernel::kEvent}) {
+  for (const auto kernel : scheduled_kernels()) {
     const SystemRun got = run_system(kernel);
     EXPECT_EQ(got.responses, brute.responses) << kernel_name(kernel);
     EXPECT_EQ(got.cycles, brute.cycles) << kernel_name(kernel);
@@ -255,7 +261,7 @@ TEST(KernelDifferential, XsortSystemMatchesAcrossKernels) {
     std::uint64_t cycles = 0;
     std::map<std::string, std::uint64_t> rtm;
   };
-  const auto run_xsort = [](sim::Simulator::Kernel kernel) {
+  const auto run_xsort = [](Simulator::Kernel kernel) {
     top::SystemConfig cfg;
     cfg.with_xsort = true;
     cfg.xsort.cells = 32;
@@ -278,9 +284,8 @@ TEST(KernelDifferential, XsortSystemMatchesAcrossKernels) {
     return out;
   };
 
-  const XsortRun brute = run_xsort(sim::Simulator::Kernel::kBruteForce);
-  for (const auto kernel : {sim::Simulator::Kernel::kSensitivity,
-                            sim::Simulator::Kernel::kEvent}) {
+  const XsortRun brute = run_xsort(Simulator::Kernel::kBruteForce);
+  for (const auto kernel : scheduled_kernels()) {
     const XsortRun got = run_xsort(kernel);
     EXPECT_EQ(got.sorted, brute.sorted) << kernel_name(kernel);
     EXPECT_EQ(got.median, brute.median) << kernel_name(kernel);
@@ -289,10 +294,10 @@ TEST(KernelDifferential, XsortSystemMatchesAcrossKernels) {
   }
 }
 
-// Randomized soak: the event kernel alone against the host-side reference
-// model, across more seeds and larger programs than the three-way matrix
-// (one simulation per seed instead of three keeps it cheap).
-TEST(KernelDifferential, EventKernelSoakAgainstReferenceModel) {
+// Randomized soak: the aggressive kernels (event, levelized) alone against
+// the host-side reference model, across more seeds and larger programs than
+// the full matrix (one simulation per seed per kernel keeps it cheap).
+TEST(KernelDifferential, AggressiveKernelSoakAgainstReferenceModel) {
   rtm::RtmConfig cfg;
   cfg.data_regs = 16;
   cfg.flag_regs = 4;
@@ -301,10 +306,13 @@ TEST(KernelDifferential, EventKernelSoakAgainstReferenceModel) {
     opt.instructions = 300;
     opt.include_errors = (seed % 2) == 1;
     const isa::Program program = random_program(cfg, seed, opt);
-    const KernelRun event = run_under(sim::Simulator::Kernel::kEvent, cfg,
-                                      fu::Skeleton::kFsm, program);
     const auto expected = host::ReferenceModel(cfg).run(program);
-    EXPECT_EQ(event.responses, expected) << "seed " << seed;
+    for (const auto kernel : {Simulator::Kernel::kEvent,
+                              Simulator::Kernel::kLevelized}) {
+      const KernelRun got = run_under(kernel, cfg, fu::Skeleton::kFsm, program);
+      EXPECT_EQ(got.responses, expected)
+          << kernel_name(kernel) << " seed " << seed;
+    }
   }
 }
 
