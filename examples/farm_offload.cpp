@@ -6,14 +6,19 @@
 // caller never touches a simulator clock — workers pump their own shards —
 // so submission looks like an ordinary thread-pool API returning futures.
 //
-// Two usage modes are shown:
+// Three usage modes are shown:
 //   1. Stateless batch: self-contained programs scattered round-robin
 //      across shards, results cross-checked against host::ReferenceModel.
 //   2. Sticky sessions: a session pins all its jobs to one shard, so
 //      register state written by one call is visible to the next.
+//   3. Windowed async polling: transport.window > 1 keeps several jobs in
+//      flight per shard, and submit_async delivers completions via
+//      callback on the worker thread — no caller parked in future::get.
 
+#include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +62,10 @@ int main() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   host::FarmConfig config;
   config.shards = hw < 4 ? hw : 4;
+  // Pipelined issue: each shard keeps up to 8 jobs in flight on its wire
+  // instead of one call-and-wait round trip at a time (read-leading jobs
+  // overlap a predecessor's return-link tail; see docs/FARM.md).
+  config.transport.window = 8;
   host::Farm farm(config);
   std::printf("farm: %zu shards (hardware_concurrency = %u)\n",
               farm.shard_count(), hw);
@@ -99,11 +108,43 @@ int main() {
               farm.shard_of(session),
               static_cast<unsigned long long>(sum.at(0).payload));
 
+  // --- Mode 3: windowed async polling of the session's result ----------
+  // 64 two-GET status polls stream through the shard's pipelined window;
+  // the callback runs on the worker thread, so the main thread blocks
+  // exactly once (on the last completion) instead of once per poll.
+  const isa::Program poll = isa::Assembler::assemble("GET r1\nGET r1");
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t polled = 0, poll_ok = 0;
+  constexpr std::size_t kPolls = 64;
+  for (std::size_t i = 0; i < kPolls; ++i) {
+    farm.submit_async(
+        session, poll,
+        [&](std::vector<msg::Response> rs, std::exception_ptr err) {
+          std::lock_guard<std::mutex> lk(m);
+          if (!err && rs.size() == 2 && rs[0].payload == 5050) {
+            ++poll_ok;
+          }
+          if (++polled == kPolls) {
+            cv.notify_one();
+          }
+        });
+  }
+  {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return polled == kPolls; });
+  }
+  std::printf("async: %zu/%zu windowed polls returned 5050\n", poll_ok,
+              kPolls);
+
   farm.shutdown();
   const sim::Counters totals = farm.counters();
   std::printf("fleet counters: jobs_completed=%llu jobs_failed=%llu\n",
               static_cast<unsigned long long>(
                   totals.get("farm.jobs_completed")),
               static_cast<unsigned long long>(totals.get("farm.jobs_failed")));
-  return (verified == futures.size() && sum.at(0).payload == 5050) ? 0 : 1;
+  return (verified == futures.size() && sum.at(0).payload == 5050 &&
+          poll_ok == kPolls)
+             ? 0
+             : 1;
 }

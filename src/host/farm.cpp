@@ -2,7 +2,8 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
+#include <exception>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -10,19 +11,34 @@
 
 namespace fpgafu::host {
 
-/// One shard: the bounded job queue (the only cross-thread state, under
-/// `m`), the published counter snapshot, and the worker thread.  The
-/// simulated hardware itself (Engine) is *not* a member: the worker
-/// constructs it on its own stack so the thread-affinity rule — each
-/// System lives and dies on the thread that drives it — holds by
-/// construction.
-struct Farm::Shard {
-  struct Job {
-    isa::Program program;
-    std::uint64_t budget = 0;
-    std::promise<std::vector<msg::Response>> promise;
-  };
+namespace {
+/// Tenant bucket for session-less submissions.  Round-robin fairness treats
+/// all of them as one tenant; they are exempt from per-session bounds.
+constexpr Farm::SessionId kNoSession = ~std::uint64_t{0};
+}  // namespace
 
+/// One farm job: the program, its budget, which tenant it counts against,
+/// and exactly one completion surface — a promise (submit), a callback
+/// (submit_async) or a stream/done pair (submit_stream).
+struct Farm::Job {
+  isa::Program program;
+  std::uint64_t budget = 0;
+  SessionId session = kNoSession;
+  std::promise<std::vector<msg::Response>> promise;
+  bool has_promise = false;
+  Callback callback;
+  ResponseFn stream;
+  DoneFn done;
+};
+
+/// One shard: the bounded per-tenant job queues (the only cross-thread
+/// state, under `m`), the published counter snapshot (under `stats_m`, so
+/// readers never contend with producers on the queue mutex), and the
+/// worker thread.  The simulated hardware itself (Engine) is *not* a
+/// member: the worker constructs it on its own stack so the
+/// thread-affinity rule — each System lives and dies on the thread that
+/// drives it — holds by construction.
+struct Farm::Shard {
   /// A shard's simulated hardware and its host stack, bundled so inline
   /// mode and worker threads build them identically.
   struct Engine {
@@ -35,130 +51,380 @@ struct Farm::Shard {
   };
 
   std::size_t index = 0;
+  const FarmConfig* cfg = nullptr;
 
+  // -- Cross-thread state, under m -----------------------------------------
   std::mutex m;
   std::condition_variable cv_work;   ///< worker waits: job queued or stop
   std::condition_variable cv_space;  ///< producers wait: queue below capacity
-  std::deque<Job> queue;             ///< under m
-  bool stop = false;                 ///< under m
-  sim::Counters stats;               ///< under m; published by the worker
+  std::map<SessionId, std::deque<Job>> pending;  ///< per-tenant sub-queues
+  std::deque<SessionId> rr;   ///< round-robin rotation of queued tenants
+  std::size_t queued = 0;     ///< total queued jobs (bounded by capacity)
+  std::map<SessionId, std::size_t> unresolved;  ///< per-session accounting
+  bool stop = false;
+  /// Lock-free mirror of `queued` so the worker's pump loop can notice new
+  /// work without taking the queue mutex every cycle.
+  std::atomic<std::size_t> queued_hint{0};
+  /// Jobs refused with kOverload (producers bump it; never in snapshots —
+  /// counters() reads it live).
+  std::atomic<std::uint64_t> jobs_shed{0};
 
-  // Worker-local lifecycle tallies (only the owning thread touches these).
+  // -- Published statistics, under stats_m ---------------------------------
+  std::mutex stats_m;
+  sim::Counters stats;  ///< latest snapshot, under stats_m
+
+  // -- Worker-local (inline mode: submitting-thread-local) -----------------
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t resets = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t unpublished = 0;  ///< jobs resolved since the last snapshot
 
   std::thread thread;
 
   /// Inline mode only: engine owned by the calling thread, built lazily on
   /// first submit so the caller's thread is the simulator's owner thread.
   std::unique_ptr<Engine> inline_engine;
+  /// Inline reentrancy guard: a submit from inside a callback queues the
+  /// job for the outer drain loop instead of recursing.
+  bool inline_active = false;
 
-  void run_job(Engine& engine, Job job);
-  void publish_stats(const Engine& engine);
-  void fail_job(Job& job, const std::string& why);
+  // Queue primitives (m held by the caller).
+  std::size_t unresolved_of(SessionId s) const {
+    auto it = unresolved.find(s);
+    return it == unresolved.end() ? 0 : it->second;
+  }
+  void push_locked(Job&& job) {
+    if (job.session != kNoSession) {
+      ++unresolved[job.session];
+    }
+    std::deque<Job>& q = pending[job.session];
+    if (q.empty()) {
+      rr.push_back(job.session);
+    }
+    q.push_back(std::move(job));
+    ++queued;
+    queued_hint.store(queued, std::memory_order_relaxed);
+  }
+  bool pop_locked(Job& out) {
+    if (rr.empty()) {
+      return false;
+    }
+    const SessionId tenant = rr.front();
+    rr.pop_front();
+    auto it = pending.find(tenant);
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      pending.erase(it);
+    } else {
+      rr.push_back(tenant);  // FIFO within a tenant, round-robin across
+    }
+    --queued;
+    queued_hint.store(queued, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Job resolution (worker thread; inline mode: the submitting thread).
+  void resolve_success(Job& job, std::vector<msg::Response>&& responses);
+  void resolve_failure(Job& job, std::exception_ptr err);
+  void finish_accounting(Job& job);
+
+  void publish_stats(const Engine& engine, bool force);
+  void fail_queued(const std::string& why);
+  void recover(Engine& engine, const SimError& cause,
+               std::deque<Job>* window_jobs);
+  void worker(const FarmConfig& cfg);
+  void drain_inline(Engine& engine);
 };
 
-void Farm::Shard::fail_job(Job& job, const std::string& why) {
-  ++jobs_failed;
-  job.promise.set_exception(std::make_exception_ptr(
-      FarmError(FarmError::Kind::kShardFault, index, why)));
+void Farm::Shard::resolve_success(Job& job,
+                                  std::vector<msg::Response>&& responses) {
+  ++jobs_completed;
+  ++unpublished;
+  if (job.callback) {
+    job.callback(std::move(responses), nullptr);
+  } else if (job.done) {
+    job.done(nullptr);
+  } else {
+    job.promise.set_value(std::move(responses));
+  }
+  finish_accounting(job);
 }
 
-void Farm::Shard::run_job(Engine& engine, Job job) {
-  try {
-    std::vector<msg::Response> responses =
-        engine.transport.call(job.program, job.budget);
-    ++jobs_completed;
-    job.promise.set_value(std::move(responses));
-  } catch (const SimError& e) {
-    // Fault isolation: this job wedged (watchdog / retries exhausted).
-    // Reset the shard's hardware so later submissions run on a clean
-    // machine, and fail this job plus everything queued behind it — those
-    // jobs were submitted against register state the reset just destroyed.
-    // Other shards never notice.
-    ++resets;
-    engine.system.simulator().reset();
-    engine.system.rtm().clear_state();
-    fail_job(job, "farm shard " + std::to_string(index) +
-                      " fault: " + std::string(e.what()));
-    std::deque<Job> casualties;
-    {
-      std::lock_guard<std::mutex> lk(m);
-      casualties.swap(queue);
-    }
-    cv_space.notify_all();
-    for (Job& j : casualties) {
-      fail_job(j, "farm shard " + std::to_string(index) +
-                      " reset by an earlier job's fault; queued job failed "
-                      "(its register state is gone)");
+void Farm::Shard::resolve_failure(Job& job, std::exception_ptr err) {
+  ++jobs_failed;
+  ++unpublished;
+  if (job.callback) {
+    job.callback({}, err);
+  } else if (job.done) {
+    job.done(err);
+  } else {
+    job.promise.set_exception(err);
+  }
+  finish_accounting(job);
+}
+
+void Farm::Shard::finish_accounting(Job& job) {
+  if (job.session != kNoSession) {
+    std::lock_guard<std::mutex> lk(m);
+    auto it = unresolved.find(job.session);
+    if (it != unresolved.end() && --(it->second) == 0) {
+      unresolved.erase(it);
     }
   }
+  cv_space.notify_all();
 }
 
-void Farm::Shard::publish_stats(const Engine& engine) {
+void Farm::Shard::publish_stats(const Engine& engine, bool force) {
+  if (!force && unpublished < cfg->stats_publish_interval) {
+    return;  // amortised: at most one snapshot per interval while busy
+  }
   sim::Counters snap;
   snap.merge(engine.transport.counters());
   snap.merge(engine.copro.counters());
   snap.bump("farm.jobs_completed", jobs_completed);
   snap.bump("farm.jobs_failed", jobs_failed);
   snap.bump("farm.shard_resets", resets);
-  std::lock_guard<std::mutex> lk(m);
+  ++publishes;
+  snap.bump("farm.stats_publishes", publishes);
+  unpublished = 0;
+  std::lock_guard<std::mutex> lk(stats_m);
   stats = std::move(snap);
+}
+
+/// Fault recovery: reset the shard's hardware so later submissions run on
+/// a clean machine, then fail the in-flight window and everything queued —
+/// all of it was submitted against machine state the reset just destroyed.
+/// Other shards never notice.
+void Farm::Shard::recover(Engine& engine, const SimError& cause,
+                          std::deque<Job>* window_jobs) {
+  ++resets;
+  engine.transport.abort_in_flight();
+  engine.system.simulator().reset();
+  engine.system.rtm().clear_state();
+  // Snapshot the queue BEFORE resolving any window job: a producer can only
+  // learn of the fault through a window job's failure, so anything it
+  // submits after that must run on the recovered shard, not die as a
+  // casualty of a fault that preceded it.
+  std::deque<Job> casualties;
+  {
+    std::lock_guard<std::mutex> lk(m);
+    for (auto& [tenant, q] : pending) {
+      for (Job& j : q) {
+        casualties.push_back(std::move(j));
+      }
+    }
+    pending.clear();
+    rr.clear();
+    queued = 0;
+    queued_hint.store(0, std::memory_order_relaxed);
+  }
+  cv_space.notify_all();
+  const std::string why = "farm shard " + std::to_string(index) +
+                          " fault: " + std::string(cause.what());
+  if (window_jobs) {
+    for (Job& j : *window_jobs) {
+      resolve_failure(j, std::make_exception_ptr(FarmError(
+                             FarmError::Kind::kShardFault, index, why)));
+    }
+    window_jobs->clear();
+  }
+  for (Job& j : casualties) {
+    resolve_failure(
+        j, std::make_exception_ptr(FarmError(
+               FarmError::Kind::kShardFault, index,
+               "farm shard " + std::to_string(index) +
+                   " reset by an in-flight fault; queued job failed (its "
+                   "register state is gone)")));
+  }
+}
+
+void Farm::Shard::worker(const FarmConfig& config) {
+  // The System is constructed *here*, on the worker thread, making this
+  // thread the simulator's owner (sim::Simulator is thread-affine — see
+  // its class comment; debug builds assert it in step()).
+  std::unique_ptr<Engine> engine;
+  std::string construct_error;
+  try {
+    engine = std::make_unique<Engine>(config);
+  } catch (const std::exception& e) {
+    construct_error = e.what();
+  }
+
+  const std::size_t window = config.transport.window;
+  std::deque<Job> active;  // jobs in the transport window, submission order
+  std::deque<ReliableTransport::ProgramId> active_ids;  // parallel to active
+
+  auto active_index = [&](ReliableTransport::ProgramId id) {
+    for (std::size_t i = 0; i < active_ids.size(); ++i) {
+      if (active_ids[i] == id) {
+        return i;
+      }
+    }
+    return active_ids.size();
+  };
+
+  for (;;) {
+    std::deque<Job> batch;
+    {
+      std::unique_lock<std::mutex> lk(m);
+      if (active.empty() && queued == 0 && !stop) {
+        // Going idle: publish so the fleet view is exact while we sleep.
+        if (engine && unpublished > 0) {
+          lk.unlock();
+          publish_stats(*engine, true);
+          lk.lock();
+        }
+        cv_work.wait(lk, [&] { return stop || queued > 0; });
+      }
+      if (stop && queued == 0 && active.empty()) {
+        break;
+      }
+      Job j;
+      while (active.size() + batch.size() < window && pop_locked(j)) {
+        batch.push_back(std::move(j));
+      }
+    }
+    if (!batch.empty()) {
+      cv_space.notify_all();
+    }
+    if (!engine) {
+      for (Job& j : batch) {
+        resolve_failure(j, std::make_exception_ptr(FarmError(
+                               FarmError::Kind::kShardFault, index,
+                               "farm shard " + std::to_string(index) +
+                                   " failed to construct: " +
+                                   construct_error)));
+      }
+      continue;
+    }
+    try {
+      for (Job& j : batch) {
+        active_ids.push_back(engine->transport.submit(
+            j.program, j.budget, static_cast<bool>(j.stream)));
+        active.push_back(std::move(j));
+      }
+      batch.clear();
+      if (active.empty()) {
+        continue;
+      }
+      // Pump the shard's clock until there is something to act on: a
+      // completion or stream event surfaced, the window has space and new
+      // work is queued (queued_hint — no lock on the hot path), or the
+      // window drained.  Job watchdogs live inside the transport
+      // (per-program deadlines), so this loop itself is unbounded.
+      std::deque<ReliableTransport::StreamEvent> events;
+      std::deque<ReliableTransport::Completion> comps;
+      Pump& pump = engine->copro.pump();
+      pump.run_until(
+          [&] {
+            engine->transport.service();
+            while (auto e = engine->transport.poll_stream()) {
+              events.push_back(std::move(*e));
+            }
+            while (auto c = engine->transport.poll_completed()) {
+              comps.push_back(std::move(*c));
+            }
+            if (!events.empty() || !comps.empty()) {
+              return true;
+            }
+            if (engine->transport.in_flight() < window &&
+                queued_hint.load(std::memory_order_relaxed) > 0) {
+              return true;
+            }
+            return engine->transport.in_flight() == 0;
+          },
+          Deadline::unbounded(engine->system.simulator()),
+          "Farm::shard window");
+      for (ReliableTransport::StreamEvent& e : events) {
+        const std::size_t i = active_index(e.id);
+        if (i < active.size() && active[i].stream) {
+          active[i].stream(e.response);
+        }
+      }
+      for (ReliableTransport::Completion& c : comps) {
+        const std::size_t i = active_index(c.id);
+        if (i < active.size()) {
+          resolve_success(active[i], std::move(c.responses));
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+          active_ids.erase(active_ids.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      publish_stats(*engine, false);
+    } catch (const SimError& e) {
+      recover(*engine, e, &active);
+      active_ids.clear();
+      publish_stats(*engine, true);
+    }
+  }
+  if (engine) {
+    publish_stats(*engine, true);
+  }
+}
+
+/// Inline mode: run every queued job to completion on the calling thread.
+/// Reentrant submits (from inside a callback) land in the queue and are
+/// drained by the outermost frame, preserving submission order.
+void Farm::Shard::drain_inline(Engine& engine) {
+  for (;;) {
+    Job job;
+    {
+      std::lock_guard<std::mutex> lk(m);
+      if (!pop_locked(job)) {
+        break;
+      }
+    }
+    try {
+      engine.transport.submit(job.program, job.budget,
+                              static_cast<bool>(job.stream));
+      std::optional<ReliableTransport::Completion> done;
+      engine.copro.pump().run_until(
+          [&] {
+            engine.transport.service();
+            while (auto e = engine.transport.poll_stream()) {
+              if (job.stream) {
+                job.stream(e->response);
+              }
+            }
+            if (auto c = engine.transport.poll_completed()) {
+              done = std::move(*c);
+            }
+            return done.has_value();
+          },
+          Deadline::unbounded(engine.system.simulator()), "Farm::inline");
+      resolve_success(job, std::move(done->responses));
+    } catch (const SimError& e) {
+      std::deque<Job> culprit;
+      culprit.push_back(std::move(job));
+      recover(engine, e, &culprit);
+    }
+    publish_stats(engine, false);
+  }
 }
 
 Farm::Farm(FarmConfig config) : config_(std::move(config)) {
   // Surface configuration errors on the constructing thread, not as a
   // worker-thread construction failure N times over.
   config_.system.validate();
+  config_.transport.validate();
   check(config_.queue_capacity > 0, "FarmConfig::queue_capacity must be > 0");
+  check(config_.stats_publish_interval > 0,
+        "FarmConfig::stats_publish_interval must be > 0");
   const std::size_t n = config_.shards == 0 ? 1 : config_.shards;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
     shards_.back()->index = i;
+    shards_.back()->cfg = &config_;
   }
   if (inline_mode()) {
     return;  // the caller's thread is shard 0's owner; engine built lazily
   }
   for (std::size_t i = 0; i < n; ++i) {
     Shard* shard = shards_[i].get();
-    shard->thread = std::thread([this, shard] {
-      // The System is constructed *here*, on the worker thread, making
-      // this thread the simulator's owner (sim::Simulator is thread-affine
-      // — see its class comment; debug builds assert it in step()).
-      std::unique_ptr<Shard::Engine> engine;
-      std::string construct_error;
-      try {
-        engine = std::make_unique<Shard::Engine>(config_);
-      } catch (const std::exception& e) {
-        construct_error = e.what();
-      }
-      for (;;) {
-        Shard::Job job;
-        {
-          std::unique_lock<std::mutex> lk(shard->m);
-          shard->cv_work.wait(
-              lk, [&] { return shard->stop || !shard->queue.empty(); });
-          if (shard->queue.empty()) {
-            break;  // stop requested and the queue fully drained
-          }
-          job = std::move(shard->queue.front());
-          shard->queue.pop_front();
-        }
-        shard->cv_space.notify_one();
-        if (!engine) {
-          shard->fail_job(job, "farm shard " + std::to_string(shard->index) +
-                                   " failed to construct: " + construct_error);
-          continue;
-        }
-        shard->run_job(*engine, std::move(job));
-        shard->publish_stats(*engine);
-      }
-      if (engine) {
-        shard->publish_stats(*engine);
-      }
-    });
+    shard->thread = std::thread([this, shard] { shard->worker(config_); });
   }
 }
 
@@ -183,6 +449,10 @@ void Farm::shutdown() {
       shard->thread.join();
     }
   }
+  if (inline_mode() && shards_[0]->inline_engine) {
+    // Counters read only; the engine's simulator is not stepped here.
+    shards_[0]->publish_stats(*shards_[0]->inline_engine, true);
+  }
   joined_ = true;
 }
 
@@ -196,63 +466,173 @@ std::size_t Farm::shard_of(SessionId session) const {
   return static_cast<std::size_t>(session % shards_.size());
 }
 
+std::size_t Farm::in_flight(SessionId session) const {
+  Shard& shard = *shards_[shard_of(session)];
+  std::lock_guard<std::mutex> lk(shard.m);
+  return shard.unresolved_of(session);
+}
+
 std::future<std::vector<msg::Response>> Farm::submit(
     isa::Program program, std::optional<std::uint64_t> budget_cycles) {
-  const std::size_t shard =
-      static_cast<std::size_t>(rr_next_.fetch_add(1) % shards_.size());
-  return enqueue(shard, std::move(program),
-                 budget_cycles.value_or(config_.job_budget_cycles));
+  Job job;
+  job.program = std::move(program);
+  job.budget = budget_cycles.value_or(config_.job_budget_cycles);
+  job.has_promise = true;
+  std::future<std::vector<msg::Response>> fut = job.promise.get_future();
+  enqueue(static_cast<std::size_t>(rr_next_.fetch_add(1) % shards_.size()),
+          std::move(job));
+  return fut;
 }
 
 std::future<std::vector<msg::Response>> Farm::submit(
     SessionId session, isa::Program program,
     std::optional<std::uint64_t> budget_cycles) {
-  return enqueue(shard_of(session), std::move(program),
-                 budget_cycles.value_or(config_.job_budget_cycles));
+  Job job;
+  job.program = std::move(program);
+  job.budget = budget_cycles.value_or(config_.job_budget_cycles);
+  job.session = session;
+  job.has_promise = true;
+  std::future<std::vector<msg::Response>> fut = job.promise.get_future();
+  enqueue(shard_of(session), std::move(job));
+  return fut;
 }
 
-std::future<std::vector<msg::Response>> Farm::enqueue(
-    std::size_t shard_index, isa::Program program, std::uint64_t budget) {
-  Shard& shard = *shards_[shard_index];
-  Shard::Job job;
+void Farm::submit_async(isa::Program program, Callback done,
+                        std::optional<std::uint64_t> budget_cycles) {
+  check(static_cast<bool>(done), "Farm::submit_async requires a callback");
+  Job job;
   job.program = std::move(program);
-  job.budget = budget;
-  std::future<std::vector<msg::Response>> fut = job.promise.get_future();
+  job.budget = budget_cycles.value_or(config_.job_budget_cycles);
+  job.callback = std::move(done);
+  enqueue(static_cast<std::size_t>(rr_next_.fetch_add(1) % shards_.size()),
+          std::move(job));
+}
 
-  if (inline_mode()) {
-    if (stopping_.load()) {
-      throw FarmError(FarmError::Kind::kShutdown, shard.index,
-                      "Farm::submit on a farm that is shutting down");
-    }
-    if (!shard.inline_engine) {
-      shard.inline_engine = std::make_unique<Shard::Engine>(config_);
-    }
-    shard.run_job(*shard.inline_engine, std::move(job));
-    shard.publish_stats(*shard.inline_engine);
-    return fut;
-  }
+void Farm::submit_async(SessionId session, isa::Program program, Callback done,
+                        std::optional<std::uint64_t> budget_cycles) {
+  check(static_cast<bool>(done), "Farm::submit_async requires a callback");
+  Job job;
+  job.program = std::move(program);
+  job.budget = budget_cycles.value_or(config_.job_budget_cycles);
+  job.session = session;
+  job.callback = std::move(done);
+  enqueue(shard_of(session), std::move(job));
+}
+
+void Farm::submit_stream(isa::Program program, ResponseFn on_response,
+                         DoneFn on_done,
+                         std::optional<std::uint64_t> budget_cycles) {
+  check(static_cast<bool>(on_response) && static_cast<bool>(on_done),
+        "Farm::submit_stream requires both callbacks");
+  Job job;
+  job.program = std::move(program);
+  job.budget = budget_cycles.value_or(config_.job_budget_cycles);
+  job.stream = std::move(on_response);
+  job.done = std::move(on_done);
+  enqueue(static_cast<std::size_t>(rr_next_.fetch_add(1) % shards_.size()),
+          std::move(job));
+}
+
+void Farm::submit_stream(SessionId session, isa::Program program,
+                         ResponseFn on_response, DoneFn on_done,
+                         std::optional<std::uint64_t> budget_cycles) {
+  check(static_cast<bool>(on_response) && static_cast<bool>(on_done),
+        "Farm::submit_stream requires both callbacks");
+  Job job;
+  job.program = std::move(program);
+  job.budget = budget_cycles.value_or(config_.job_budget_cycles);
+  job.session = session;
+  job.stream = std::move(on_response);
+  job.done = std::move(on_done);
+  enqueue(shard_of(session), std::move(job));
+}
+
+/// The admission front end, shared by both execution modes: typed
+/// shutdown/overload refusals and per-session accounting happen here, so
+/// inline and threaded farms reject identically.
+void Farm::enqueue(std::size_t shard_index, Job job) {
+  Shard& shard = *shards_[shard_index];
+  const bool bounded =
+      job.session != kNoSession && config_.max_inflight_per_session > 0;
 
   {
     std::unique_lock<std::mutex> lk(shard.m);
-    // Backpressure: block while the bounded queue is full.
-    shard.cv_space.wait(lk, [&] {
-      return shard.stop || shard.queue.size() < config_.queue_capacity;
-    });
-    if (shard.stop) {
+    if (stopping_.load() || shard.stop) {
       throw FarmError(FarmError::Kind::kShutdown, shard.index,
                       "Farm::submit on a farm that is shutting down");
     }
-    shard.queue.push_back(std::move(job));
+    if (bounded &&
+        shard.unresolved_of(job.session) >= config_.max_inflight_per_session) {
+      shard.jobs_shed.fetch_add(1);
+      throw FarmError(FarmError::Kind::kOverload, shard.index,
+                      "Farm::submit: session " + std::to_string(job.session) +
+                          " is at its in-flight bound (" +
+                          std::to_string(config_.max_inflight_per_session) +
+                          ")");
+    }
+    if (shard.queued >= config_.queue_capacity) {
+      // Inline mode never blocks: there is no worker to free space, so a
+      // full queue (only reachable through reentrant submits) sheds under
+      // either policy.
+      if (config_.admission == FarmConfig::Admission::kShed ||
+          inline_mode()) {
+        shard.jobs_shed.fetch_add(1);
+        throw FarmError(FarmError::Kind::kOverload, shard.index,
+                        "Farm::submit: shard " + std::to_string(shard.index) +
+                            " queue is full (" +
+                            std::to_string(config_.queue_capacity) + ")");
+      }
+      // Backpressure: block while the bounded queue is full.
+      shard.cv_space.wait(lk, [&] {
+        return shard.stop || shard.queued < config_.queue_capacity;
+      });
+      if (shard.stop) {
+        throw FarmError(FarmError::Kind::kShutdown, shard.index,
+                        "Farm::submit on a farm that is shutting down");
+      }
+      if (bounded && shard.unresolved_of(job.session) >=
+                         config_.max_inflight_per_session) {
+        shard.jobs_shed.fetch_add(1);
+        throw FarmError(FarmError::Kind::kOverload, shard.index,
+                        "Farm::submit: session " +
+                            std::to_string(job.session) +
+                            " reached its in-flight bound while waiting for "
+                            "queue space");
+      }
+    }
+    shard.push_locked(std::move(job));
   }
-  shard.cv_work.notify_one();
-  return fut;
+
+  if (!inline_mode()) {
+    shard.cv_work.notify_one();
+    return;
+  }
+
+  // Inline mode: execute synchronously on the calling thread.  A reentrant
+  // submit (from inside a callback) just queues; the outermost frame's
+  // drain loop runs it.
+  if (shard.inline_active) {
+    return;
+  }
+  shard.inline_active = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{shard.inline_active};
+  if (!shard.inline_engine) {
+    shard.inline_engine = std::make_unique<Shard::Engine>(config_);
+  }
+  shard.drain_inline(*shard.inline_engine);
 }
 
 sim::Counters Farm::counters() const {
   sim::Counters out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->m);
-    out.merge(shard->stats);
+    {
+      std::lock_guard<std::mutex> lk(shard->stats_m);
+      out.merge(shard->stats);
+    }
+    out.bump("farm.jobs_shed", shard->jobs_shed.load());
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,8 @@ class FarmError : public SimError {
     kShardFault,  ///< the shard's watchdog tripped (or retries exhausted);
                   ///< the shard was reset and this job's result is lost
     kShutdown,    ///< submitted against a farm that is shutting down
+    kOverload,    ///< load shed: the shard's queue is full (Admission::kShed)
+                  ///< or the session is at its in-flight bound
   };
 
   FarmError(Kind kind, std::size_t shard, const std::string& what)
@@ -41,6 +44,12 @@ class FarmError : public SimError {
 
 /// Configuration of a coprocessor farm.
 struct FarmConfig {
+  /// What submit() does when a shard's bounded queue is full.
+  enum class Admission {
+    kBlock,  ///< block the producer until space frees (backpressure)
+    kShed,   ///< fail fast with FarmError{kOverload} (load shedding)
+  };
+
   /// Worker shards.  Each shard is an independent top::System +
   /// ReliableTransport owned by one worker thread.  0 means *inline*: no
   /// threads, one shard owned by the calling thread, submit() executes
@@ -49,14 +58,30 @@ struct FarmConfig {
   std::size_t shards = 1;
   /// Per-shard system configuration (every shard is identical).
   top::SystemConfig system;
-  /// Per-shard transport tuning.
+  /// Per-shard transport tuning.  `transport.window` also sizes the worker
+  /// loop: with window > 1 each shard keeps that many programs in flight
+  /// at once (pipelined issue, in-order responses) instead of one
+  /// call-and-wait round trip per job.
   TransportConfig transport;
-  /// Bounded submission queue depth per shard.  When a shard's queue is
-  /// full, submit() blocks the caller — backpressure instead of unbounded
-  /// memory growth.
+  /// Bounded submission queue depth per shard (jobs waiting for a window
+  /// slot; in-flight jobs are not counted against it).
   std::size_t queue_capacity = 64;
+  /// Full-queue policy: block the producer (default, backpressure) or
+  /// reject with FarmError{kOverload} (load shedding for latency-sensitive
+  /// front ends that would rather drop than queue).
+  Admission admission = Admission::kBlock;
+  /// Per-session cap on unresolved jobs (queued + in flight + resolving).
+  /// A session at its bound is refused with FarmError{kOverload} — under
+  /// either admission policy — so one tenant cannot monopolise a shard's
+  /// queue.  0 = unbounded.  Session-less submissions are never counted.
+  std::size_t max_inflight_per_session = 0;
   /// Default per-job clock budget (overridable per submit).
   std::uint64_t job_budget_cycles = kDefaultCallBudgetCycles;
+  /// Jobs a worker resolves between counter-snapshot publications.  The
+  /// fleet view (counters()) lags by at most this many jobs while a shard
+  /// is busy; it is exact whenever a shard goes idle and after shutdown().
+  /// 1 restores publish-after-every-job.
+  std::size_t stats_publish_interval = 16;
 };
 
 /// A multi-System coprocessor farm: N independent shards, each one whole
@@ -79,24 +104,50 @@ struct FarmConfig {
 /// submit() round-robins across shards and must treat each job as
 /// self-contained.
 ///
-/// **Backpressure.**  Each shard's queue is bounded
-/// (FarmConfig::queue_capacity); submit() blocks while the target queue is
-/// full.
+/// **Windowed pipelining.**  With `transport.window > 1` a worker keeps up
+/// to that many jobs in flight on its shard at once: the transport issues
+/// them in submission order over one wire (so session register semantics
+/// are preserved — a later job's reads still execute after an earlier
+/// job's writes) and completes each as its last response lands.  Jobs of
+/// *different* sessions interleave freely inside a window.
 ///
-/// **Failure semantics.**  A job that trips the shard's watchdog (or
-/// exhausts transport retries) fails its own future *and* every job queued
-/// on that shard at that moment with FarmError{kShardFault} — those jobs
-/// were submitted against register state the recovery reset has destroyed.
-/// The shard resets its System and keeps serving later submissions; other
-/// shards never notice (fault isolation).
+/// **Admission.**  Each shard's queue is bounded
+/// (FarmConfig::queue_capacity).  A full queue blocks the producer
+/// (Admission::kBlock) or sheds the job with FarmError{kOverload}
+/// (Admission::kShed).  Sessions are optionally capped at
+/// `max_inflight_per_session` unresolved jobs — exceeding the cap is
+/// refused with kOverload under either policy.  Queued jobs are dequeued
+/// *round-robin across sessions* (FIFO within a session), so one tenant's
+/// burst cannot starve the others.
+///
+/// **Failure semantics.**  A job that trips its watchdog (or exhausts
+/// transport retries) fails *and* takes the window with it: every job in
+/// flight on that shard and every job queued there at that moment fails
+/// with FarmError{kShardFault} — the recovery reset destroys the machine
+/// state all of them depend on.  The shard resets its System and keeps
+/// serving later submissions; other shards never notice (fault isolation).
 ///
 /// **Shutdown.**  Destruction (or shutdown()) stops intake, lets every
 /// worker drain the jobs already queued, then joins — queued futures
-/// complete normally; only *new* submissions are refused with
-/// FarmError{kShutdown}.
+/// complete normally, producers blocked in submit() are woken and refused
+/// with FarmError{kShutdown}; only *new* submissions are refused.
 class Farm {
  public:
   using SessionId = std::uint64_t;
+  /// Completion callback for submit_async: exactly one of (responses,
+  /// error) is meaningful — error is nullptr on success.  Runs on the
+  /// shard's worker thread (inline mode: the submitting thread); it must
+  /// not block and must not throw.  It may submit follow-up jobs.
+  using Callback =
+      std::function<void(std::vector<msg::Response>, std::exception_ptr)>;
+  /// Streaming consumer for submit_stream: invoked once per response, in
+  /// program order, as each instruction group (e.g. one GETV burst)
+  /// completes — a long read streams out while the program's tail is
+  /// still executing.  Same threading rules as Callback.
+  using ResponseFn = std::function<void(const msg::Response&)>;
+  /// End-of-stream for submit_stream: nullptr on success, the failure
+  /// otherwise.  No ResponseFn invocation follows it.
+  using DoneFn = std::function<void(std::exception_ptr)>;
 
   explicit Farm(FarmConfig config);
   ~Farm();
@@ -115,12 +166,35 @@ class Farm {
       SessionId session, isa::Program program,
       std::optional<std::uint64_t> budget_cycles = std::nullopt);
 
+  /// Callback flavours of the two submits: `done` fires on the worker
+  /// thread instead of resolving a future — the completion-driven surface
+  /// for event-loop hosts (no thread parked in future::get, admission
+  /// errors still throw from submit_async itself).
+  void submit_async(isa::Program program, Callback done,
+                    std::optional<std::uint64_t> budget_cycles = std::nullopt);
+  void submit_async(SessionId session, isa::Program program, Callback done,
+                    std::optional<std::uint64_t> budget_cycles = std::nullopt);
+
+  /// Streaming flavour: `on_response` receives every response in program
+  /// order as its group completes (GETV bursts stream incrementally),
+  /// then `on_done` fires exactly once.
+  void submit_stream(isa::Program program, ResponseFn on_response,
+                     DoneFn on_done,
+                     std::optional<std::uint64_t> budget_cycles = std::nullopt);
+  void submit_stream(SessionId session, isa::Program program,
+                     ResponseFn on_response, DoneFn on_done,
+                     std::optional<std::uint64_t> budget_cycles = std::nullopt);
+
   /// New session id with a sticky shard assignment (round-robin over
   /// shards at creation).
   SessionId create_session();
 
   /// The shard a session's jobs run on.
   std::size_t shard_of(SessionId session) const;
+
+  /// Unresolved jobs (queued + in flight + resolving) of a session — the
+  /// quantity max_inflight_per_session bounds.
+  std::size_t in_flight(SessionId session) const;
 
   /// Shards serving jobs (1 for an inline farm — FarmConfig::shards == 0).
   std::size_t shard_count() const;
@@ -129,8 +203,10 @@ class Farm {
 
   /// Aggregated fleet statistics: every shard's transport.*, host.* and
   /// farm.* counters merged (sim::Counters::merge) into one snapshot.
-  /// farm.jobs_completed / farm.jobs_failed / farm.shard_resets count the
-  /// farm's own lifecycle events.
+  /// farm.jobs_completed / farm.jobs_failed / farm.jobs_shed /
+  /// farm.shard_resets count the farm's own lifecycle events;
+  /// farm.stats_publishes counts snapshot publications (amortised to one
+  /// per stats_publish_interval jobs while a shard stays busy).
   sim::Counters counters() const;
 
   /// Stop intake, drain queued jobs, join workers.  Idempotent; called by
@@ -141,10 +217,9 @@ class Farm {
 
  private:
   struct Shard;
+  struct Job;
 
-  std::future<std::vector<msg::Response>> enqueue(std::size_t shard_index,
-                                                  isa::Program program,
-                                                  std::uint64_t budget);
+  void enqueue(std::size_t shard_index, Job job);
 
   FarmConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

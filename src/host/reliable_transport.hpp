@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -19,10 +20,35 @@ struct TransportConfig {
   unsigned max_attempts = 10;
   /// Timeout multiplier applied per retry attempt.
   std::uint64_t backoff_multiplier = 2;
+  /// Cap on the accumulated backoff: an armed retry timeout never exceeds
+  /// `response_timeout * max_backoff_factor`, whatever the multiplier, so a
+  /// long retry chain keeps probing instead of out-waiting the watchdog.
+  /// (The cap used to be "seven doublings", which only matched the
+  /// documented 64x when backoff_multiplier == 2.)
+  std::uint64_t max_backoff_factor = 64;
   /// Overall watchdog for one call() (2x the default call budget: the
   /// transport is expected to out-wait retries a plain call would not).
   std::uint64_t max_cycles = 2 * kDefaultCallBudgetCycles;
+  /// Programs the pipelined interface keeps in flight at once.  1 is
+  /// call-and-wait; larger windows overlap one program's tail with the next
+  /// program's issue (the RTM pipelines instructions and answers in order,
+  /// so the wire protocol needs no changes).  submit() refuses to exceed
+  /// the window; host::Farm sizes its worker loop from it.
+  std::size_t window = 1;
+
+  /// Throw SimError on nonsensical settings (zero attempts/multiplier/
+  /// window...).  ReliableTransport and host::Farm run this on
+  /// construction so misconfiguration surfaces on the caller's thread.
+  void validate() const;
 };
+
+/// The capped exponential backoff schedule: the timeout armed for a group's
+/// `attempts`-th consecutive unanswered attempt.  Exposed as a free
+/// function so tests can pin the formula directly:
+///   min(response_timeout * backoff_multiplier^(attempts-1),
+///       response_timeout * max_backoff_factor)
+std::uint64_t backoff_timeout(const TransportConfig& config,
+                              unsigned attempts);
 
 /// Reliable request/response layer over an unreliable upstream link.
 ///
@@ -45,20 +71,56 @@ struct TransportConfig {
 ///  * within a GETV burst the `burst` index spots duplicated sub-responses
 ///    (dropped) and intra-burst gaps (whole group re-submitted);
 ///  * the oldest entry is also guarded by a timeout with exponential
-///    backoff, catching the tail case where nothing arrives at all;
+///    backoff, capped at `max_backoff_factor` and clamped to the program's
+///    remaining watchdog budget, catching the tail case where nothing
+///    arrives at all;
 ///  * groups that produce no responses (register writes) are submitted only
 ///    once nothing is outstanding, so every prior read was confirmed before
 ///    state mutates and re-submitting a read can never observe a newer
-///    write (write barrier);
+///    write (write barrier — it spans *programs*: a later program's groups
+///    never overtake an earlier program's unsubmitted write);
 ///  * results are re-numbered to *program-order* sequence numbers before
 ///    being returned, so the output is bit-comparable with
 ///    host::ReferenceModel::run on the same program.
+///
+/// Two interfaces share that state machine:
+///  * `call()` — submit one program and block until it completes
+///    (call-and-wait, the historical interface);
+///  * the *pipelined window* — `submit()` up to `config().window` programs,
+///    drive `service()` from a pump loop, and consume results via
+///    `poll_completed()` (whole programs) and `poll_stream()` (per-response
+///    streaming in program order, for long GETV bursts).  Programs issue
+///    strictly in submission order; completions surface as each program's
+///    last response lands, so one program's round-trip tail overlaps the
+///    next program's issue.  A retry give-up or a per-program watchdog
+///    expiry aborts the *whole* window (the recovery reset destroys the
+///    machine state every in-flight program depends on): service() throws
+///    and the caller is expected to abort_in_flight() and re-submit or
+///    fail upwards (host::Farm fails the window as shard casualties).
 ///
 /// The transport mirrors the decoder's sequence counter, so it must be the
 /// only submitter on its system (construct it before any traffic and route
 /// everything through it).  A system reset re-synchronises both counters.
 class ReliableTransport {
  public:
+  /// Ticket for one pipelined program; unique per transport.
+  using ProgramId = std::uint64_t;
+
+  /// A completed pipelined program: every response, renumbered to program
+  /// order (bit-comparable with host::ReferenceModel::run).
+  struct Completion {
+    ProgramId id = 0;
+    std::vector<msg::Response> responses;
+  };
+
+  /// One streamed response of a program submitted with stream = true,
+  /// delivered in program order as its group completes — a long GETV burst
+  /// surfaces incrementally instead of only at program completion.
+  struct StreamEvent {
+    ProgramId id = 0;
+    msg::Response response;
+  };
+
   explicit ReliableTransport(Coprocessor& copro, TransportConfig config = {});
 
   /// Submit `program` and block until every expected response has been
@@ -66,10 +128,47 @@ class ReliableTransport {
   /// program order.  Throws SimError when a retriable group exhausts
   /// max_attempts or the overall watchdog fires.  `budget_cycles`, when
   /// given, overrides config().max_cycles for this one call (the Farm uses
-  /// it for per-job deadlines).
+  /// it for per-job deadlines).  Requires an empty window (call-and-wait
+  /// and pipelined submission do not mix within one exchange).
   std::vector<msg::Response> call(
       const isa::Program& program,
       std::optional<std::uint64_t> budget_cycles = std::nullopt);
+
+  // -- Pipelined window ------------------------------------------------------
+  /// Enqueue a program into the in-flight window (throws SimError when the
+  /// window is full — poll capacity with window_full()).  Its instructions
+  /// issue, in submission order, as service() runs; its per-program
+  /// watchdog (`budget_cycles`, default config().max_cycles) arms when its
+  /// first group reaches the wire.  With stream = true every response is
+  /// additionally delivered through poll_stream() as soon as its group
+  /// completes.
+  ProgramId submit(const isa::Program& program,
+                   std::optional<std::uint64_t> budget_cycles = std::nullopt,
+                   bool stream = false);
+
+  /// One service quantum of the retry state machine: issue groups (window
+  /// order, write barrier permitting), consume arrived responses, run gap/
+  /// timeout retries, surface completions.  Never advances the clock —
+  /// drive it from a Pump loop.  Throws SimError on a retry give-up or a
+  /// per-program watchdog expiry; the window is then poisoned and must be
+  /// cleared with abort_in_flight().
+  void service();
+
+  /// Programs submitted and not yet surfaced through poll_completed().
+  std::size_t in_flight() const { return window_.size(); }
+  bool window_full() const { return window_.size() >= config_.window; }
+
+  /// Next completed program, if any (completion order).
+  std::optional<Completion> poll_completed();
+
+  /// Next streamed response, if any (program order within each program).
+  std::optional<StreamEvent> poll_stream();
+
+  /// Drop every in-flight program, pending completion and stream event,
+  /// and realign the driver.  The recovery path after service() threw —
+  /// in-flight results are unrecoverable (the reset destroyed the machine
+  /// state behind them); the caller owns failing them upwards.
+  void abort_in_flight();
 
   /// transport.{retries,timeouts,gap_retries,dup_dropped,stale_dropped,
   /// failures} statistics.
@@ -79,13 +178,74 @@ class ReliableTransport {
   Coprocessor& coprocessor() { return *copro_; }
 
  private:
+  /// Per-group progress.  program_seq is the sequence number the reference
+  /// model assigns — the group index in program order (mod 2^16).
+  struct GroupSlot {
+    ResponsePrediction pred;
+    std::uint16_t program_seq = 0;
+    std::vector<msg::Response> got;
+    bool done = false;
+  };
+
+  /// One pipelined program in the window.
+  struct Flight {
+    ProgramId id = 0;
+    std::vector<InstructionGroup> groups;
+    std::vector<GroupSlot> slots;
+    std::size_t next_group = 0;    ///< next group to put on the wire
+    std::size_t emit_cursor = 0;   ///< slots already emitted in program order
+    std::vector<msg::Response> out;  ///< renumbered responses, program order
+    std::uint64_t budget = 0;
+    std::optional<Deadline> deadline;  ///< armed at first transmission
+    bool stream = false;
+  };
+
+  /// Response-producing groups in flight, oldest first (wire order).
+  struct Outstanding {
+    ProgramId program = 0;
+    std::size_t slot = 0;
+    std::uint16_t wire_seq = 0;
+    unsigned attempts = 0;
+    std::uint64_t deadline = 0;  ///< armed only while this entry is the front
+  };
+
+  Flight* flight(ProgramId id);
   /// Re-sync the mirrored sequence counter after a system reset.
   void sync_generation();
+  /// Send a group's words and (when it responds) enqueue it for tracking.
+  void transmit(Flight& f, std::size_t slot_index, unsigned attempts);
+  /// (Re-)arm the front outstanding entry's retry deadline, capped by the
+  /// backoff schedule and clamped to its program's remaining budget.
+  void arm_front();
+  /// Give up on (or re-submit) the front outstanding entry.
+  void retry_front(sim::Counters::Handle reason);
+  void handle_response(const msg::Response& r);
+  /// The strict-order submission phase: put groups on the wire in window
+  /// order, write barrier permitting.  Maintains unissued_.
+  void issue_pending();
+  /// Check every armed per-program watchdog (throws on expiry) and cache
+  /// the earliest cycle one could next fire in watchdog_due_.
+  void check_watchdogs();
+  /// Advance a flight's program-order emit cursor over completed slots,
+  /// then surface it as a Completion if it is fully issued and emitted.
+  void emit_ready();
 
   Coprocessor* copro_;
   TransportConfig config_;
   std::uint16_t next_wire_seq_ = 0;  ///< mirrors the decoder's seq counter
   std::uint64_t reset_generation_;
+  ProgramId next_program_id_ = 1;
+  std::deque<Flight> window_;
+  std::deque<Outstanding> outstanding_;
+  std::deque<Completion> completed_;
+  std::deque<StreamEvent> stream_events_;
+  // service() runs once per simulated cycle, so its quiet-cycle cost must
+  // stay O(1) in the window depth (a deep window would otherwise pay for
+  // its own bookkeeping faster than the pipelining saves wire time).
+  // These caches skip the O(window) phases until an event re-arms them.
+  bool unissued_ = false;       ///< some flight has groups not yet issued
+  bool emit_pending_ = false;   ///< a slot completed since the last emit scan
+  std::uint64_t watchdog_due_ = 0;  ///< earliest watchdog expiry (0 = dirty)
   sim::Counters stats_;
   sim::Counters::Handle retries_;
   sim::Counters::Handle timeouts_;

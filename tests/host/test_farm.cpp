@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "host/coprocessor.hpp"
@@ -290,6 +296,404 @@ TEST(Farm, RejectsDegenerateConfiguration) {
     fc.system.message_buffer_depth = 0;  // surfaced on the caller's thread
     EXPECT_THROW(Farm{fc}, SimError);
   }
+  {
+    FarmConfig fc;
+    fc.transport.window = 0;
+    EXPECT_THROW(Farm{fc}, SimError);
+  }
+  {
+    FarmConfig fc;
+    fc.transport.max_backoff_factor = 0;
+    EXPECT_THROW(Farm{fc}, SimError);
+  }
+  {
+    FarmConfig fc;
+    fc.stats_publish_interval = 0;
+    EXPECT_THROW(Farm{fc}, SimError);
+  }
+}
+
+/// A long-but-correct program that keeps a worker busy for a while, so the
+/// tests below can deterministically form queues behind it.
+isa::Program chunky_program(int pairs) {
+  std::string src;
+  for (int i = 0; i < pairs; ++i) {
+    src += "PUT r1, #" + std::to_string(i) + "\nGET r1\n";
+  }
+  return isa::Assembler::assemble(src);
+}
+
+TEST(Farm, WindowedShardsMatchTheReferenceModel) {
+  FarmConfig fc;
+  fc.shards = 2;
+  fc.transport.window = 8;  // pipelined: up to 8 jobs in flight per shard
+  Farm farm(fc);
+
+  std::vector<isa::Program> programs;
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 1300; seed < 1332; ++seed) {
+    programs.push_back(selfcontained_program(seed));
+    futures.push_back(farm.submit(programs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), reference_run(programs[i])) << "job " << i;
+  }
+  farm.shutdown();
+  const sim::Counters totals = farm.counters();
+  EXPECT_EQ(totals.get("farm.jobs_completed"), futures.size());
+  EXPECT_EQ(totals.get("farm.jobs_failed"), 0u);
+  EXPECT_EQ(totals.get("farm.shard_resets"), 0u);
+}
+
+TEST(Farm, AsyncCallbacksDeliverEveryResult) {
+  FarmConfig fc;
+  fc.shards = 2;
+  fc.transport.window = 4;
+  Farm farm(fc);
+
+  constexpr std::size_t kJobs = 24;
+  std::vector<isa::Program> programs;
+  for (std::uint64_t seed = 1400; seed < 1400 + kJobs; ++seed) {
+    programs.push_back(selfcontained_program(seed));
+  }
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t resolved = 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    farm.submit_async(
+        programs[i],
+        [&, i](std::vector<msg::Response> rs, std::exception_ptr err) {
+          std::lock_guard<std::mutex> lk(m);
+          if (!err && rs == reference_run(programs[i])) {
+            ++correct;
+          }
+          ++resolved;
+          cv.notify_all();
+        });
+  }
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return resolved == kJobs; });
+  EXPECT_EQ(correct, kJobs);
+}
+
+TEST(Farm, StreamingDeliversResponsesInProgramOrder) {
+  FarmConfig fc;
+  fc.shards = 1;
+  fc.transport.window = 2;
+  Farm farm(fc);
+
+  const isa::Program p = selfcontained_program(5);
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<msg::Response> streamed;
+  bool finished = false;
+  std::exception_ptr failure;
+  farm.submit_stream(
+      p,
+      [&](const msg::Response& r) {
+        std::lock_guard<std::mutex> lk(m);
+        streamed.push_back(r);
+      },
+      [&](std::exception_ptr err) {
+        std::lock_guard<std::mutex> lk(m);
+        failure = err;
+        finished = true;
+        cv.notify_all();
+      });
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return finished; });
+  EXPECT_EQ(failure, nullptr);
+  EXPECT_EQ(streamed, reference_run(p));
+}
+
+/// Bugfix regression (stats publishing): snapshots used to be copied under
+/// the shard mutex after *every* job.  They are now amortised to one per
+/// stats_publish_interval jobs (plus idle/final flushes), while the job
+/// totals stay exact after shutdown.
+TEST(Farm, StatsPublishingIsAmortisedAcrossJobs) {
+  FarmConfig fc;
+  fc.shards = 1;
+  fc.stats_publish_interval = 16;
+  fc.queue_capacity = 64;
+  Farm farm(fc);
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 1500; seed < 1564; ++seed) {
+    futures.push_back(farm.submit(selfcontained_program(seed)));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  farm.shutdown();
+  const sim::Counters totals = farm.counters();
+  EXPECT_EQ(totals.get("farm.jobs_completed"), 64u);
+  const std::uint64_t publishes = totals.get("farm.stats_publishes");
+  EXPECT_GE(publishes, 1u);
+  // 64 jobs / interval 16 = 4 interval publishes, plus a handful of
+  // idle/final flushes — far fewer than the old one-per-job.
+  EXPECT_LE(publishes, 16u);
+}
+
+/// Bugfix regression (admission unification): the inline path used to
+/// bypass queue_capacity and session accounting entirely.  It now refuses
+/// with the same typed errors as the threaded path — and, having no worker
+/// to wait for, sheds instead of blocking.
+TEST(Farm, InlineAdmissionEnforcesSessionBoundsAndCapacity) {
+  FarmConfig fc;
+  fc.shards = 0;  // inline
+  fc.max_inflight_per_session = 1;
+  fc.queue_capacity = 1;
+  Farm farm(fc);
+  const Farm::SessionId s = farm.create_session();
+  const isa::Program p = selfcontained_program(8);
+
+  bool session_overload = false;
+  bool capacity_overload = false;
+  std::size_t nested_runs = 0;
+  farm.submit_async(s, p, [&](std::vector<msg::Response> rs,
+                              std::exception_ptr err) {
+    EXPECT_EQ(err, nullptr);
+    EXPECT_EQ(rs, reference_run(p));
+    // The outer job is still unresolved while its callback runs, so the
+    // session is at its bound of 1.
+    EXPECT_EQ(farm.in_flight(s), 1u);
+    try {
+      farm.submit_async(s, p, [](std::vector<msg::Response>,
+                                 std::exception_ptr) {});
+    } catch (const FarmError& e) {
+      session_overload = e.kind() == FarmError::Kind::kOverload;
+    }
+    // Session-less jobs dodge the session bound; the 1-deep queue then
+    // sheds the second one.
+    try {
+      farm.submit_async(p, [&](std::vector<msg::Response>,
+                               std::exception_ptr) { ++nested_runs; });
+      farm.submit_async(p, [&](std::vector<msg::Response>,
+                               std::exception_ptr) { ++nested_runs; });
+    } catch (const FarmError& e) {
+      capacity_overload = e.kind() == FarmError::Kind::kOverload;
+    }
+  });
+  EXPECT_TRUE(session_overload);
+  EXPECT_TRUE(capacity_overload);
+  EXPECT_EQ(nested_runs, 1u);  // the queued reentrant job did run
+  EXPECT_EQ(farm.in_flight(s), 0u);
+  EXPECT_EQ(farm.counters().get("farm.jobs_shed"), 2u);
+}
+
+TEST(Farm, SessionInFlightBoundShedsWithTypedOverload) {
+  FarmConfig fc;
+  fc.shards = 1;
+  fc.max_inflight_per_session = 2;
+  Farm farm(fc);
+  const Farm::SessionId s = farm.create_session();
+
+  // The chunky job occupies the worker (1 unresolved), a second waits in
+  // the queue (2 unresolved = the bound), so a third is refused.
+  const isa::Program chunky = chunky_program(1000);
+  const isa::Program small = selfcontained_program(9);
+  auto f1 = farm.submit(s, chunky);
+  auto f2 = farm.submit(s, small);
+  try {
+    farm.submit(s, small);
+    FAIL() << "third submission must be refused at the session bound";
+  } catch (const FarmError& e) {
+    EXPECT_EQ(e.kind(), FarmError::Kind::kOverload);
+  }
+  EXPECT_EQ(f1.get(), reference_run(chunky));
+  EXPECT_EQ(f2.get(), reference_run(small));
+  // Both resolved: the bound has space again.
+  EXPECT_EQ(farm.submit(s, small).get(), reference_run(small));
+  EXPECT_GE(farm.counters().get("farm.jobs_shed"), 1u);
+}
+
+/// Satellite test: shutting down while a producer is blocked on
+/// backpressure must wake it with kShutdown (or let its job through if the
+/// race resolves first) — never deadlock — and every queued future still
+/// resolves.
+TEST(Farm, ShutdownWakesProducersBlockedOnBackpressure) {
+  FarmConfig fc;
+  fc.shards = 1;
+  fc.queue_capacity = 1;
+  Farm farm(fc);
+  const isa::Program chunky = chunky_program(1000);
+
+  auto f1 = farm.submit(chunky);  // worker takes it
+  auto f2 = farm.submit(chunky);  // fills the 1-deep queue
+  std::promise<void> started;
+  std::atomic<bool> refused_with_shutdown{false};
+  std::atomic<bool> producer_resolved{false};
+  std::thread producer([&] {
+    started.set_value();
+    try {
+      auto f3 = farm.submit(chunky);  // blocks: the queue is full
+      f3.get();
+      producer_resolved.store(true);
+    } catch (const FarmError& e) {
+      refused_with_shutdown.store(e.kind() == FarmError::Kind::kShutdown);
+    }
+  });
+  started.get_future().wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  farm.shutdown();  // must wake the blocked producer
+  producer.join();  // and never deadlock
+  EXPECT_TRUE(refused_with_shutdown.load() || producer_resolved.load());
+  // No broken promises: the accepted jobs drain normally.
+  EXPECT_EQ(f1.get(), reference_run(chunky));
+  EXPECT_EQ(f2.get(), reference_run(chunky));
+}
+
+/// Satellite test: a fault with a full window in flight fails that whole
+/// window (and the queue behind it) with kShardFault, while the other
+/// shard's concurrent in-flight work is undisturbed and the sick shard
+/// recovers.
+TEST(Farm, ShardFaultDuringWindowFailsOnlyThatWindow) {
+  FarmConfig fc;
+  fc.shards = 2;
+  fc.transport.window = 4;
+  Farm farm(fc);
+  const Farm::SessionId sick = farm.create_session();
+  const Farm::SessionId healthy = farm.create_session();
+  ASSERT_NE(farm.shard_of(sick), farm.shard_of(healthy));
+
+  const isa::Program chunky = chunky_program(120);
+  const isa::Program poison = isa::Assembler::assemble("GET r2");
+  const isa::Program follower = selfcontained_program(77);
+
+  // One window's worth lands together: chunky + poison + two followers.
+  auto fut_chunky = farm.submit(sick, chunky);
+  auto fut_poison = farm.submit(sick, poison, /*budget_cycles=*/4);
+  auto fut_f1 = farm.submit(sick, follower);
+  auto fut_f2 = farm.submit(sick, follower);
+
+  std::vector<isa::Program> other_programs;
+  std::vector<std::future<std::vector<msg::Response>>> other;
+  for (std::uint64_t seed = 1600; seed < 1608; ++seed) {
+    other_programs.push_back(selfcontained_program(seed));
+    other.push_back(farm.submit(healthy, other_programs.back()));
+  }
+
+  try {
+    fut_poison.get();
+    FAIL() << "poison job must fail";
+  } catch (const FarmError& e) {
+    EXPECT_EQ(e.kind(), FarmError::Kind::kShardFault);
+    EXPECT_EQ(e.shard(), farm.shard_of(sick));
+  }
+  // Window-mates and queued jobs at trip time die with the same typed
+  // error; any that happened to run before (or were re-queued after) the
+  // reset must produce correct results — never hang.
+  for (auto* fut : {&fut_chunky, &fut_f1, &fut_f2}) {
+    try {
+      const auto rs = fut->get();
+      EXPECT_TRUE(rs == reference_run(chunky) || rs == reference_run(follower));
+    } catch (const FarmError& e) {
+      EXPECT_EQ(e.kind(), FarmError::Kind::kShardFault);
+      EXPECT_EQ(e.shard(), farm.shard_of(sick));
+    }
+  }
+  // Fault isolation: the healthy shard's windowed work is all intact.
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    EXPECT_EQ(other[i].get(), reference_run(other_programs[i]))
+        << "healthy job " << i;
+  }
+  // The sick shard was reset and keeps serving.
+  const isa::Program after = selfcontained_program(999);
+  EXPECT_EQ(farm.submit(sick, after).get(), reference_run(after));
+  EXPECT_GE(farm.counters().get("farm.shard_resets"), 1u);
+}
+
+/// Queued jobs are dequeued round-robin across sessions (FIFO within one),
+/// so a small tenant's jobs complete interleaved with a flooding tenant's
+/// burst instead of behind all of it.
+TEST(Farm, RoundRobinDequeueKeepsTenantsFair) {
+  FarmConfig fc;
+  fc.shards = 1;  // both sessions share the one shard
+  Farm farm(fc);
+  const Farm::SessionId a = farm.create_session();
+  const Farm::SessionId b = farm.create_session();
+
+  // Occupy the worker so the queue forms behind it.
+  auto stall = farm.submit(chunky_program(300));
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<char> order;
+  auto record = [&](char tag) {
+    return [&, tag](std::vector<msg::Response>, std::exception_ptr) {
+      std::lock_guard<std::mutex> lk(m);
+      order.push_back(tag);
+      cv.notify_all();
+    };
+  };
+  for (std::uint64_t seed = 1700; seed < 1706; ++seed) {
+    farm.submit_async(a, selfcontained_program(seed), record('a'));
+  }
+  farm.submit_async(b, selfcontained_program(1710), record('b'));
+  farm.submit_async(b, selfcontained_program(1711), record('b'));
+
+  stall.get();
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return order.size() == 8; });
+  // Round-robin: b's second job lands within the first ~4 completions.
+  // Pure FIFO would have put it dead last (index 7).
+  std::size_t last_b = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 'b') {
+      last_b = i;
+    }
+  }
+  EXPECT_LE(last_b, 4u) << std::string(order.begin(), order.end());
+}
+
+/// Iteration count for the windowed farm soak; CI exports
+/// FPGAFU_FARM_SOAK_JOBS to scale it.
+std::size_t farm_soak_jobs() {
+  if (const char* env = std::getenv("FPGAFU_FARM_SOAK_JOBS")) {
+    const long n = std::atol(env);
+    if (n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  return 24;
+}
+
+/// Acceptance soak: windowed shards over a link that drops, corrupts and
+/// duplicates 5% of upstream words each must stay bit-identical to the
+/// reference model.  Runs inside test_farm so the TSan CI job exercises it
+/// under every settle kernel (FPGAFU_KERNEL=levelized included).
+TEST(Farm, WindowedFaultSoakIsBitIdenticalToTheReferenceModel) {
+  FarmConfig fc;
+  fc.shards = 2;
+  fc.transport.window = 8;
+  fc.transport.response_timeout = 500;
+  fc.transport.max_attempts = 25;
+  msg::FaultConfig f;
+  f.seed = 0xfa54;
+  f.up.drop_ppm = 50'000;
+  f.up.corrupt_ppm = 50'000;
+  f.up.duplicate_ppm = 50'000;
+  f.up.jitter_max = 3;
+  f.down.jitter_max = 2;
+  fc.system.link_faults = f;
+  Farm farm(fc);
+
+  const std::size_t jobs = farm_soak_jobs();
+  std::vector<isa::Program> programs;
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 2000; seed < 2000 + jobs; ++seed) {
+    programs.push_back(selfcontained_program(seed));
+    futures.push_back(farm.submit(programs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].get(), reference_run(programs[i])) << "job " << i;
+  }
+  farm.shutdown();
+  const sim::Counters totals = farm.counters();
+  EXPECT_EQ(totals.get("farm.jobs_completed"), jobs);
+  EXPECT_EQ(totals.get("farm.jobs_failed"), 0u);
+  // The soak must actually have exercised the retry machinery.
+  EXPECT_GT(totals.get("transport.retries"), 0u);
 }
 
 }  // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <vector>
+
 #include "host/reference_model.hpp"
+#include "isa/assembler.hpp"
 #include "support/program_gen.hpp"
 #include "util/error.hpp"
 
@@ -110,6 +114,272 @@ TEST(ReliableTransport, GivesUpAfterMaxAttempts) {
   EXPECT_THROW(transport.call(p), SimError);
   EXPECT_EQ(transport.counters().get("transport.retries"), 2u);
   EXPECT_EQ(transport.counters().get("transport.failures"), 1u);
+}
+
+/// Pins the backoff schedule formula:
+///   min(response_timeout * backoff_multiplier^(attempts-1),
+///       response_timeout * max_backoff_factor)
+/// Regression: the cap used to be hardcoded as "seven doublings", which only
+/// matched the documented 64x when backoff_multiplier == 2.
+TEST(Backoff, FormulaIsCappedByConfiguredFactor) {
+  TransportConfig c;
+  c.response_timeout = 100;
+  c.backoff_multiplier = 2;
+  c.max_backoff_factor = 64;
+  EXPECT_EQ(backoff_timeout(c, 1), 100u);
+  EXPECT_EQ(backoff_timeout(c, 2), 200u);
+  EXPECT_EQ(backoff_timeout(c, 7), 6'400u);
+  EXPECT_EQ(backoff_timeout(c, 8), 6'400u);   // 2^7 = 128: capped at 64x
+  EXPECT_EQ(backoff_timeout(c, 40), 6'400u);  // stays capped forever
+
+  // A larger multiplier reaches the same cap, not multiplier^7.
+  c.backoff_multiplier = 8;
+  EXPECT_EQ(backoff_timeout(c, 2), 800u);
+  EXPECT_EQ(backoff_timeout(c, 3), 6'400u);  // 8^2 = 64: exactly the cap
+  EXPECT_EQ(backoff_timeout(c, 4), 6'400u);
+
+  // A cap that is not a power of the multiplier still bounds the timeout.
+  c.backoff_multiplier = 3;
+  c.max_backoff_factor = 10;
+  EXPECT_EQ(backoff_timeout(c, 3), 900u);
+  EXPECT_EQ(backoff_timeout(c, 4), 1'000u);  // min(27, 10) * 100
+}
+
+/// Regression for the runaway-backoff bug: with backoff_multiplier = 4 the
+/// old seven-multiplications cap armed deadlines of up to 4^7x the base
+/// timeout, so a dead link blew the per-call watchdog *before* the retry
+/// chain could reach max_attempts (retries stopped at 4 here and the clean
+/// give-up accounting never ran).  With the configured cap and the
+/// remaining-budget clamp, every attempt fits inside the budget:
+/// 1000 + 4000 + 16000 + 64000 = 85000 < 200000.
+TEST(Backoff, LargeMultiplierStillGivesUpInsideTheWatchdogBudget) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  msg::FaultConfig f;
+  f.up.drop_ppm = 1'000'000;  // the FPGA's answers never get through
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  TransportConfig tcfg;
+  tcfg.response_timeout = 1000;
+  tcfg.backoff_multiplier = 4;
+  tcfg.max_attempts = 5;
+  ReliableTransport transport(copro, tcfg);
+
+  isa::Program p;
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 1;
+  p.emit(get);
+  EXPECT_THROW(transport.call(p, /*budget_cycles=*/200'000), SimError);
+  EXPECT_EQ(transport.counters().get("transport.retries"), 4u);
+  EXPECT_EQ(transport.counters().get("transport.timeouts"), 5u);
+  EXPECT_EQ(transport.counters().get("transport.failures"), 1u);
+}
+
+/// Regression for the clamp: a base timeout larger than the whole watchdog
+/// budget used to mean the transport never probed at all — the watchdog
+/// fired with zero timeouts recorded.  Each armed deadline is now clamped
+/// to the program's remaining budget, so the retry machinery still runs.
+TEST(Backoff, ArmedDeadlineIsClampedToRemainingWatchdogBudget) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  msg::FaultConfig f;
+  f.up.drop_ppm = 1'000'000;
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  TransportConfig tcfg;
+  tcfg.response_timeout = 50'000;  // 5x the whole budget below
+  ReliableTransport transport(copro, tcfg);
+
+  isa::Program p;
+  isa::Instruction get;
+  get.function = isa::fc::kRtm;
+  get.variety = static_cast<isa::VarietyCode>(isa::RtmOp::kGet);
+  get.src1 = 1;
+  p.emit(get);
+  EXPECT_THROW(transport.call(p, /*budget_cycles=*/10'000), SimError);
+  EXPECT_GE(transport.counters().get("transport.timeouts"), 1u);
+}
+
+/// The pipelined window must produce exactly what sequential call()s would:
+/// one System with several programs in flight, each completion bit-identical
+/// to a second, identical System running the same programs one call at a
+/// time (call() itself is pinned against the reference model elsewhere).
+TEST(ReliableTransport, PipelinedWindowMatchesSequentialCalls) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  TransportConfig tcfg;
+  tcfg.window = 4;
+  ReliableTransport transport(copro, tcfg);
+
+  top::System seq_sys(cfg);
+  Coprocessor seq_copro(seq_sys);
+  ReliableTransport seq_transport(seq_copro);
+
+  std::vector<isa::Program> programs;
+  std::vector<std::vector<msg::Response>> expected;
+  for (std::uint64_t seed = 41; seed <= 48; ++seed) {
+    programs.push_back(fpgafu::testing::random_program(small_rtm(), seed,
+                                                       {.instructions = 20}));
+    expected.push_back(seq_transport.call(programs.back()));
+  }
+
+  std::vector<ReliableTransport::ProgramId> ids;
+  std::map<ReliableTransport::ProgramId, std::vector<msg::Response>> got;
+  std::size_t next = 0;
+  copro.pump().run_until(
+      [&] {
+        while (next < programs.size() && !transport.window_full()) {
+          ids.push_back(transport.submit(programs[next++]));
+        }
+        transport.service();
+        while (auto c = transport.poll_completed()) {
+          got[c->id] = std::move(c->responses);
+        }
+        return got.size() == programs.size();
+      },
+      Deadline(sys.simulator(), 10'000'000), "pipelined window test");
+
+  EXPECT_EQ(transport.in_flight(), 0u);
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    EXPECT_EQ(got[ids[i]], expected[i]) << "program " << i;
+  }
+}
+
+/// The write barrier spans programs: a later program's read must observe an
+/// earlier program's (response-less) write, even though both are in flight
+/// at once — and a pure-write program still surfaces a (response-free)
+/// completion.
+TEST(ReliableTransport, WindowPreservesCrossProgramWriteOrder) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  TransportConfig tcfg;
+  tcfg.window = 2;
+  ReliableTransport transport(copro, tcfg);
+
+  // PUT produces zero responses; GET reads the value back.
+  const isa::Program writer = isa::Assembler::assemble("PUT r1, #42");
+  const isa::Program reader = isa::Assembler::assemble("GET r1");
+
+  const auto id_w = transport.submit(writer);
+  const auto id_r = transport.submit(reader);
+  std::map<ReliableTransport::ProgramId, std::vector<msg::Response>> got;
+  copro.pump().run_until(
+      [&] {
+        transport.service();
+        while (auto c = transport.poll_completed()) {
+          got[c->id] = std::move(c->responses);
+        }
+        return got.size() == 2;
+      },
+      Deadline(sys.simulator(), 1'000'000), "write order test");
+
+  EXPECT_TRUE(got[id_w].empty());  // writes produce no responses
+  ASSERT_EQ(got[id_r].size(), 1u);
+  EXPECT_EQ(got[id_r][0].payload, 42u);
+}
+
+/// Streamed responses arrive in program order, begin before the program
+/// completes, and in total equal the completion's responses.
+TEST(ReliableTransport, StreamedResponsesMatchTheCompletion) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  ReliableTransport transport(copro);
+  const isa::Program p = fpgafu::testing::random_program(small_rtm(), 55,
+                                                         {.instructions = 25});
+  const auto id = transport.submit(p, std::nullopt, /*stream=*/true);
+  std::vector<msg::Response> streamed;
+  std::optional<ReliableTransport::Completion> done;
+  bool streamed_before_completion = false;
+  copro.pump().run_until(
+      [&] {
+        transport.service();
+        while (auto e = transport.poll_stream()) {
+          EXPECT_EQ(e->id, id);
+          streamed.push_back(e->response);
+          if (transport.in_flight() > 0) {
+            streamed_before_completion = true;
+          }
+        }
+        if (auto c = transport.poll_completed()) {
+          done = std::move(*c);
+        }
+        return done.has_value();
+      },
+      Deadline(sys.simulator(), 10'000'000), "stream test");
+
+  EXPECT_EQ(streamed, done->responses);
+  EXPECT_EQ(streamed, ReferenceModel(small_rtm()).run(p));
+  EXPECT_TRUE(streamed_before_completion);
+}
+
+/// The windowed retry machinery (gap detection, burst re-reads, backoff)
+/// still recovers to bit-exact results when several programs share the
+/// lossy wire.
+TEST(ReliableTransport, PipelinedWindowRecoversFromFaults) {
+  top::SystemConfig cfg;
+  cfg.rtm = small_rtm();
+  msg::FaultConfig f;
+  f.seed = 97;
+  f.up.drop_ppm = 40'000;
+  f.up.corrupt_ppm = 40'000;
+  f.up.duplicate_ppm = 40'000;
+  cfg.link_faults = f;
+  top::System sys(cfg);
+  Coprocessor copro(sys);
+  TransportConfig tcfg;
+  tcfg.window = 4;
+  tcfg.response_timeout = 500;
+  tcfg.max_attempts = 25;
+  ReliableTransport transport(copro, tcfg);
+
+  // The oracle: the same programs run sequentially over a clean link.
+  top::SystemConfig clean_cfg;
+  clean_cfg.rtm = small_rtm();
+  top::System seq_sys(clean_cfg);
+  Coprocessor seq_copro(seq_sys);
+  ReliableTransport seq_transport(seq_copro);
+
+  std::vector<isa::Program> programs;
+  std::vector<std::vector<msg::Response>> expected;
+  for (std::uint64_t seed = 61; seed <= 72; ++seed) {
+    programs.push_back(fpgafu::testing::random_program(small_rtm(), seed,
+                                                       {.instructions = 15}));
+    expected.push_back(seq_transport.call(programs.back()));
+  }
+  std::vector<ReliableTransport::ProgramId> ids;
+  std::map<ReliableTransport::ProgramId, std::vector<msg::Response>> got;
+  std::size_t next = 0;
+  copro.pump().run_until(
+      [&] {
+        while (next < programs.size() && !transport.window_full()) {
+          ids.push_back(transport.submit(programs[next++]));
+        }
+        transport.service();
+        while (auto c = transport.poll_completed()) {
+          got[c->id] = std::move(c->responses);
+        }
+        return got.size() == programs.size();
+      },
+      Deadline(sys.simulator(), 100'000'000), "faulty window test");
+
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    EXPECT_EQ(got[ids[i]], expected[i]) << "program " << i;
+  }
+  EXPECT_EQ(transport.counters().get("transport.failures"), 0u);
+  EXPECT_GT(transport.counters().get("transport.retries") +
+                transport.counters().get("transport.dup_dropped") +
+                transport.counters().get("transport.stale_dropped"),
+            0u);
 }
 
 /// Regression for the frame-state reset hole: a system reset (or watchdog
