@@ -1,0 +1,267 @@
+// Experiment E15: algorithm-on-demand slot-cache behaviour under
+// multi-tenant load.
+//
+// The paper notes the functional-unit approach "lends itself to dynamic
+// reconfiguration": algorithm circuits are swapped through a bounded set of
+// physical FU slots instead of synthesised into one monolithic design.
+// host::FuManager models that as a software-managed cache — this bench
+// sweeps the slot budget across a fixed six-image catalogue and a skewed
+// tenant mix, reporting the cache counters (hits / misses / evictions) and
+// the resulting hit rate alongside jobs/s.  Small budgets force constant
+// replacement (nonzero evictions); budgets that fit the whole catalogue
+// converge to a hit rate near 1 after the cold loads.  CI's perf-smoke step
+// asserts both ends of that curve from the JSON artifact.
+//
+// Second axis: the replacement policy (LRU vs GreedyDual-style cost-aware),
+// over images with deliberately unequal load_cycles so the policies can
+// actually disagree.  Every job's responses are checked bit-identically
+// against host::ReferenceModel.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fu/stateless_units.hpp"
+#include "host/algod.hpp"
+#include "host/farm.hpp"
+#include "host/reference_model.hpp"
+#include "isa/assembler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fpgafu;
+
+/// Factory covering the six stateless case-study units, so images are
+/// declared over codes the ReferenceModel knows the semantics of.
+std::unique_ptr<fu::FunctionalUnit> make_unit_for(sim::Simulator& sim,
+                                                  isa::FunctionCode code) {
+  fu::StatelessConfig ucfg;
+  ucfg.width = 32;
+  switch (code) {
+    case isa::fc::kArith:
+      return fu::make_arithmetic_unit(sim, ucfg);
+    case isa::fc::kLogic:
+      return fu::make_logic_unit(sim, ucfg);
+    case isa::fc::kShift:
+      return fu::make_shift_unit(sim, ucfg);
+    case isa::fc::kMulDiv:
+      ucfg.skeleton = fu::Skeleton::kFsm;
+      ucfg.execute_cycles = 0;
+      return fu::make_muldiv_unit(sim, ucfg);
+    case isa::fc::kFloat:
+      return fu::make_fp32_unit(sim, ucfg);
+    case isa::fc::kTrig:
+      ucfg.skeleton = fu::Skeleton::kFsm;
+      ucfg.execute_cycles = 0;
+      return fu::make_trig_unit(sim, ucfg);
+    default:
+      return nullptr;
+  }
+}
+
+host::AlgorithmImage image_of(const std::string& name, isa::FunctionCode code,
+                              std::uint64_t load_cycles) {
+  host::AlgorithmImage img;
+  img.name = name;
+  img.codes = {code};
+  img.load_cycles = load_cycles;
+  img.factory = make_unit_for;
+  return img;
+}
+
+/// Six single-code images with unequal reload costs (the cost-aware policy
+/// needs a spread to be aware of).
+std::vector<host::AlgorithmImage> catalogue() {
+  return {image_of("arith", isa::fc::kArith, 100),
+          image_of("logic", isa::fc::kLogic, 200),
+          image_of("shift", isa::fc::kShift, 300),
+          image_of("muldiv", isa::fc::kMulDiv, 400),
+          image_of("float", isa::fc::kFloat, 500),
+          image_of("trig", isa::fc::kTrig, 600)};
+}
+
+const char* const kImageNames[] = {"arith",  "logic", "shift",
+                                   "muldiv", "float", "trig"};
+
+/// All units this bench schedules have no FU-frame codes outside the
+/// manager: the Systems start bare so the manager owns every code.
+top::SystemConfig bare_system() {
+  top::SystemConfig sc;
+  sc.with_arithmetic = false;
+  sc.with_logic = false;
+  sc.with_shift = false;
+  sc.with_muldiv = false;
+  sc.with_float = false;
+  sc.with_trig = false;
+  return sc;
+}
+
+/// Self-contained job touching exactly `images`: writes every register it
+/// reads, so a fresh ReferenceModel predicts its responses regardless of
+/// what earlier tenants left in the shard's register file.
+isa::Program program_for(const std::vector<std::string>& images,
+                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string src;
+  src += "PUT r1, #" + std::to_string(rng.below(1u << 20)) + "\n";
+  src += "PUT r2, #" + std::to_string(1 + rng.below(1u << 10)) + "\n";
+  for (const std::string& name : images) {
+    if (name == "arith") {
+      src += "ADD r3, r1, r2\nGET r3\n";
+    } else if (name == "logic") {
+      src += "XOR r4, r1, r2\nGET r4\n";
+    } else if (name == "shift") {
+      src += "SHR r5, r1, r2\nGET r5\n";
+    } else if (name == "muldiv") {
+      src += "MUL r6, r1, r2\nGET r6\n";
+    } else if (name == "float") {
+      src += "FMUL r7, r1, r2\nGET r7\n";
+    } else if (name == "trig") {
+      src += "SIN r3, r1\nGET r3\n";
+    }
+  }
+  return isa::Assembler::assemble(src);
+}
+
+struct Tenant {
+  host::Farm::SessionId session = 0;
+  isa::Program program;
+  std::vector<msg::Response> expected;
+};
+
+constexpr std::size_t kTenants = 24;
+constexpr std::size_t kJobsPerTenantPerIteration = 2;
+
+/// Skewed required-set draw: 80% of tenants work a two-image hot set; the
+/// rest wander the cold tail, which is what forces replacement once the
+/// budget is smaller than the catalogue.
+std::vector<std::string> draw_required(Xoshiro256& rng) {
+  std::vector<std::string> required;
+  const std::size_t first =
+      rng.chance(4, 5) ? rng.below(2) : 2 + rng.below(4);
+  required.push_back(kImageNames[first]);
+  if (rng.chance(1, 3)) {
+    const std::size_t second =
+        rng.chance(4, 5) ? rng.below(2) : 2 + rng.below(4);
+    if (kImageNames[second] != required.front()) {
+      required.push_back(kImageNames[second]);
+    }
+  }
+  return required;
+}
+
+/// Jobs/s and cache counters at a slot budget of `state.range(0)` with
+/// policy `state.range(1)` (0 = LRU, 1 = cost-aware), one shard so every
+/// tenant contends for the same manager.
+void BM_AlgodSlotSweep(benchmark::State& state) {
+  const std::size_t slots = static_cast<std::size_t>(state.range(0));
+  const bool cost_aware = state.range(1) != 0;
+  host::FarmConfig fc;
+  fc.shards = 1;
+  fc.system = bare_system();
+  fc.transport.window = 4;
+  fc.queue_capacity = 2 * kTenants * kJobsPerTenantPerIteration;
+  fc.fu_images = catalogue();
+  fc.fu_slots = slots;
+  if (cost_aware) {
+    fc.fu_policy = [] {
+      return std::static_pointer_cast<host::ReplacementPolicy>(
+          std::make_shared<host::CostAwarePolicy>());
+    };
+  }
+  host::Farm farm(fc);
+
+  Xoshiro256 rng(0xa190d'0000 + slots * 2 + (cost_aware ? 1 : 0));
+  std::vector<Tenant> tenants;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    Tenant tenant;
+    const std::vector<std::string> required = draw_required(rng);
+    tenant.session = farm.create_session(required);
+    tenant.program = program_for(required, rng.next());
+    host::ReferenceModel model(fc.system.rtm);
+    tenant.expected = model.run(tenant.program);
+    tenants.push_back(std::move(tenant));
+  }
+
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    std::vector<std::future<std::vector<msg::Response>>> futures;
+    std::vector<std::size_t> who;
+    for (std::size_t round = 0; round < kJobsPerTenantPerIteration; ++round) {
+      for (std::size_t t = 0; t < kTenants; ++t) {
+        futures.push_back(
+            farm.submit(tenants[t].session, tenants[t].program));
+        who.push_back(t);
+      }
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      if (futures[i].get() != tenants[who[i]].expected) {
+        state.SkipWithError("algod response diverged from ReferenceModel");
+        return;
+      }
+    }
+    jobs += futures.size();
+  }
+  farm.shutdown();  // counters are exact only after shutdown
+
+  const auto counters = farm.counters().all();
+  const auto counter = [&](const char* key) -> double {
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const double hits = counter("algod.hits");
+  const double misses = counter("algod.misses");
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["slots"] = static_cast<double>(slots);
+  state.counters["cost_aware"] = cost_aware ? 1.0 : 0.0;
+  state.counters["hits"] = hits;
+  state.counters["misses"] = misses;
+  state.counters["hit_rate"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  state.counters["evictions"] = counter("algod.evictions");
+  state.counters["loads"] = counter("algod.loads");
+  state.counters["load_cycles"] = counter("algod.load_cycles");
+  state.counters["drain_cycles"] = counter("algod.drain_cycles");
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+
+void register_slot_sweep() {
+  auto* b = benchmark::RegisterBenchmark("BM_AlgodSlotSweep", BM_AlgodSlotSweep)
+                ->Unit(benchmark::kMillisecond)
+                ->UseRealTime()
+                ->MeasureProcessCPUTime();
+  // Slot budgets from heavy pressure (a third of the catalogue) to
+  // everything-resident, under both policies.  slots=6 fits all six
+  // images: after the cold loads every probe is a hit and evictions
+  // stay at zero — the floor CI asserts.
+  for (long slots : {2, 3, 4, 6}) {
+    b->Args({slots, 0});
+    b->Args({slots, 1});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fpgafu::bench::init(&argc, argv);
+  fpgafu::bench::section(
+      "E15", "algorithm-on-demand slot cache (hit rate vs slot budget)");
+  fpgafu::bench::note(
+      "six-image catalogue, 24 skewed tenants on one shard; every job "
+      "checked bit-identical against host::ReferenceModel");
+  fpgafu::bench::note(
+      "hit_rate = algod.hits / (hits + misses) over the whole run, "
+      "including cold loads");
+  register_slot_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,7 +29,7 @@ set -euo pipefail
 
 BUILD="${1:-build-bench}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BENCHES=(bench_sim_kernel bench_farm bench_hpcc)
+BENCHES=(bench_sim_kernel bench_farm bench_algod bench_hpcc)
 
 # Refuse to take over a tree that is configured as something else —
 # reconfiguring it behind the user's back would silently flip their dev

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <map>
 #include <thread>
 #include <utility>
@@ -18,12 +19,17 @@ constexpr Farm::SessionId kNoSession = ~std::uint64_t{0};
 }  // namespace
 
 /// One farm job: the program, its budget, which tenant it counts against,
-/// and exactly one completion surface — a promise (submit), a callback
-/// (submit_async) or a stream/done pair (submit_stream).
+/// the algorithm images it requires resident, and exactly one completion
+/// surface — a promise (submit), a callback (submit_async) or a
+/// stream/done pair (submit_stream).
 struct Farm::Job {
   isa::Program program;
   std::uint64_t budget = 0;
   SessionId session = kNoSession;
+  /// Image names the session declared at create_session(required); the
+  /// worker ensures them resident (swapping on an empty window) before the
+  /// job issues.  Empty = no requirement.
+  std::vector<std::string> required;
   std::promise<std::vector<msg::Response>> promise;
   bool has_promise = false;
   Callback callback;
@@ -45,9 +51,24 @@ struct Farm::Shard {
     top::System system;
     Coprocessor copro;
     ReliableTransport transport;
+    /// Algorithm-on-demand manager (null when FarmConfig::fu_images is
+    /// empty).  Worker-thread-affine, like everything else in the engine.
+    std::unique_ptr<FuManager> manager;
 
     explicit Engine(const FarmConfig& cfg)
-        : system(cfg.system), copro(system), transport(copro, cfg.transport) {}
+        : system(cfg.system), copro(system), transport(copro, cfg.transport) {
+      if (!cfg.fu_images.empty()) {
+        FuManagerConfig mcfg;
+        mcfg.slots = cfg.fu_slots;
+        if (cfg.fu_policy) {
+          mcfg.policy = cfg.fu_policy();
+        }
+        manager = std::make_unique<FuManager>(copro, mcfg);
+        for (const AlgorithmImage& image : cfg.fu_images) {
+          manager->register_image(image);
+        }
+      }
+    }
   };
 
   std::size_t index = 0;
@@ -136,6 +157,76 @@ struct Farm::Shard {
                std::deque<Job>* window_jobs);
   void worker(const FarmConfig& cfg);
   void drain_inline(Engine& engine);
+
+  /// Make `job.required` resident (the caller guarantees the transport
+  /// window is empty if a swap is needed).  On an unsatisfiable set —
+  /// unregistered name, set larger than the slot budget — the job is
+  /// resolved with the retryable FarmError{kUnitUnavailable} and false is
+  /// returned; the shard stays healthy.
+  bool ensure_required(Engine& engine, Job& job) {
+    if (!engine.manager || job.required.empty()) {
+      return true;
+    }
+    try {
+      engine.manager->ensure_resident_all(job.required);
+      return true;
+    } catch (const SimError& e) {
+      resolve_failure(job,
+                      std::make_exception_ptr(FarmError(
+                          FarmError::Kind::kUnitUnavailable, index,
+                          "farm shard " + std::to_string(index) +
+                              ": required FU set not satisfiable: " +
+                              std::string(e.what()))));
+      return false;
+    }
+  }
+
+  /// True when the job must wait for an empty transport window before it
+  /// can issue: one of its required images is not resident, so making it
+  /// resident may drain/evict units that in-flight programs' response
+  /// predictions still count on.
+  bool needs_swap(const Engine& engine, const Job& job) const {
+    if (!engine.manager || job.required.empty()) {
+      return false;
+    }
+    for (const std::string& name : job.required) {
+      if (!engine.manager->registered(name) ||
+          !engine.manager->resident(name)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// First kUnitUnavailable error among `responses`, if any: the job raced
+  /// a hot swap (or used a code whose image was never made resident) — it
+  /// fails typed and retryable instead of handing the caller a response
+  /// vector with a buried error.
+  static bool hit_unavailable(const std::vector<msg::Response>& responses) {
+    for (const msg::Response& r : responses) {
+      if (r.type == msg::Response::Type::kError &&
+          static_cast<msg::ErrorCode>(r.code) ==
+              msg::ErrorCode::kUnitUnavailable) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Resolve a completed job: success normally, the typed retryable
+  /// failure when a kUnitUnavailable error response surfaced mid-program.
+  void resolve_completion(Job& job, std::vector<msg::Response>&& responses) {
+    if (hit_unavailable(responses)) {
+      resolve_failure(job,
+                      std::make_exception_ptr(FarmError(
+                          FarmError::Kind::kUnitUnavailable, index,
+                          "farm shard " + std::to_string(index) +
+                              ": a functional unit became unavailable "
+                              "under this job (FU hot swap); retry")));
+      return;
+    }
+    resolve_success(job, std::move(responses));
+  }
 };
 
 void Farm::Shard::resolve_success(Job& job,
@@ -183,6 +274,9 @@ void Farm::Shard::publish_stats(const Engine& engine, bool force) {
   sim::Counters snap;
   snap.merge(engine.transport.counters());
   snap.merge(engine.copro.counters());
+  if (engine.manager) {
+    snap.merge(engine.manager->counters());
+  }
   snap.bump("farm.jobs_completed", jobs_completed);
   snap.bump("farm.jobs_failed", jobs_failed);
   snap.bump("farm.shard_resets", resets);
@@ -255,6 +349,11 @@ void Farm::Shard::worker(const FarmConfig& config) {
   const std::size_t window = config.transport.window;
   std::deque<Job> active;  // jobs in the transport window, submission order
   std::deque<ReliableTransport::ProgramId> active_ids;  // parallel to active
+  /// Jobs popped from the queue but waiting to issue: the front needs an FU
+  /// swap and the window is not empty yet.  Strict FIFO behind it — issuing
+  /// a later job around a held one would reorder a session's register
+  /// semantics.
+  std::deque<Job> held;
 
   auto active_index = [&](ReliableTransport::ProgramId id) {
     for (std::size_t i = 0; i < active_ids.size(); ++i) {
@@ -269,7 +368,7 @@ void Farm::Shard::worker(const FarmConfig& config) {
     std::deque<Job> batch;
     {
       std::unique_lock<std::mutex> lk(m);
-      if (active.empty() && queued == 0 && !stop) {
+      if (active.empty() && held.empty() && queued == 0 && !stop) {
         // Going idle: publish so the fleet view is exact while we sleep.
         if (engine && unpublished > 0) {
           lk.unlock();
@@ -278,11 +377,12 @@ void Farm::Shard::worker(const FarmConfig& config) {
         }
         cv_work.wait(lk, [&] { return stop || queued > 0; });
       }
-      if (stop && queued == 0 && active.empty()) {
+      if (stop && queued == 0 && active.empty() && held.empty()) {
         break;
       }
       Job j;
-      while (active.size() + batch.size() < window && pop_locked(j)) {
+      while (active.size() + held.size() + batch.size() < window &&
+             pop_locked(j)) {
         batch.push_back(std::move(j));
       }
     }
@@ -300,13 +400,37 @@ void Farm::Shard::worker(const FarmConfig& config) {
       continue;
     }
     try {
+      // New arrivals line up behind anything already held, then issue in
+      // FIFO order.  A job whose required images are all resident issues
+      // immediately; one that needs a swap waits for the window to drain
+      // first — response predictions of in-flight programs were computed
+      // against the current FU table, so the table must not change under
+      // them.
       for (Job& j : batch) {
-        active_ids.push_back(engine->transport.submit(
-            j.program, j.budget, static_cast<bool>(j.stream)));
-        active.push_back(std::move(j));
+        held.push_back(std::move(j));
       }
       batch.clear();
-      if (active.empty()) {
+      while (!held.empty() && active.size() < window) {
+        if (needs_swap(*engine, held.front())) {
+          if (engine->transport.in_flight() > 0) {
+            break;  // swap deferred until the window drains
+          }
+          if (!ensure_required(*engine, held.front())) {
+            held.pop_front();  // unsatisfiable; job failed typed
+            continue;
+          }
+        } else if (engine->manager && !held.front().required.empty()) {
+          // All resident: record the hits so policy recency stays honest.
+          engine->manager->ensure_resident_all(held.front().required);
+        }
+        active_ids.push_back(
+            engine->transport.submit(held.front().program,
+                                     held.front().budget,
+                                     static_cast<bool>(held.front().stream)));
+        active.push_back(std::move(held.front()));
+        held.pop_front();
+      }
+      if (active.empty() && held.empty()) {
         continue;
       }
       // Pump the shard's clock until there is something to act on: a
@@ -329,7 +453,12 @@ void Farm::Shard::worker(const FarmConfig& config) {
             if (!events.empty() || !comps.empty()) {
               return true;
             }
-            if (engine->transport.in_flight() < window &&
+            // Pull new queued work only while nothing is held: held jobs
+            // issue strictly FIFO, so with a swap-blocked job at the front
+            // there is nothing to do with more work except hold it too —
+            // and returning here without stepping would spin the loop
+            // without ever letting the in-flight window drain.
+            if (held.empty() && engine->transport.in_flight() < window &&
                 queued_hint.load(std::memory_order_relaxed) > 0) {
               return true;
             }
@@ -346,7 +475,7 @@ void Farm::Shard::worker(const FarmConfig& config) {
       for (ReliableTransport::Completion& c : comps) {
         const std::size_t i = active_index(c.id);
         if (i < active.size()) {
-          resolve_success(active[i], std::move(c.responses));
+          resolve_completion(active[i], std::move(c.responses));
           active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
           active_ids.erase(active_ids.begin() +
                            static_cast<std::ptrdiff_t>(i));
@@ -356,6 +485,16 @@ void Farm::Shard::worker(const FarmConfig& config) {
     } catch (const SimError& e) {
       recover(*engine, e, &active);
       active_ids.clear();
+      // Held jobs never issued, but the recovery reset destroyed the
+      // register state their sessions depend on all the same.
+      for (Job& j : held) {
+        resolve_failure(j, std::make_exception_ptr(FarmError(
+                               FarmError::Kind::kShardFault, index,
+                               "farm shard " + std::to_string(index) +
+                                   " reset by an in-flight fault; held job "
+                                   "failed (its register state is gone)")));
+      }
+      held.clear();
       publish_stats(*engine, true);
     }
   }
@@ -377,6 +516,11 @@ void Farm::Shard::drain_inline(Engine& engine) {
       }
     }
     try {
+      // Inline jobs run one at a time, so the window is always empty here
+      // and a required-set swap is safe before every submit.
+      if (!ensure_required(engine, job)) {
+        continue;  // unsatisfiable; job already failed typed
+      }
       engine.transport.submit(job.program, job.budget,
                               static_cast<bool>(job.stream));
       std::optional<ReliableTransport::Completion> done;
@@ -394,7 +538,7 @@ void Farm::Shard::drain_inline(Engine& engine) {
             return done.has_value();
           },
           Deadline::unbounded(engine.system.simulator()), "Farm::inline");
-      resolve_success(job, std::move(done->responses));
+      resolve_completion(job, std::move(done->responses));
     } catch (const SimError& e) {
       std::deque<Job> culprit;
       culprit.push_back(std::move(job));
@@ -412,7 +556,33 @@ Farm::Farm(FarmConfig config) : config_(std::move(config)) {
   check(config_.queue_capacity > 0, "FarmConfig::queue_capacity must be > 0");
   check(config_.stats_publish_interval > 0,
         "FarmConfig::stats_publish_interval must be > 0");
+  // Surface image-set mistakes here instead of as N worker-thread
+  // construction failures (register_image re-checks per shard).
+  if (!config_.fu_images.empty()) {
+    check(config_.fu_slots > 0,
+          "FarmConfig::fu_slots must be > 0 when fu_images is set");
+    for (std::size_t i = 0; i < config_.fu_images.size(); ++i) {
+      const AlgorithmImage& image = config_.fu_images[i];
+      check(!image.name.empty(), "FarmConfig::fu_images: image needs a name");
+      check(!image.codes.empty(),
+            "FarmConfig::fu_images: image '" + image.name +
+                "' declares no function codes");
+      check(static_cast<bool>(image.factory),
+            "FarmConfig::fu_images: image '" + image.name +
+                "' needs a factory");
+      check(image.slot_cost() <= config_.fu_slots,
+            "FarmConfig::fu_images: image '" + image.name +
+                "' does not fit the fu_slots budget");
+      for (std::size_t j = 0; j < i; ++j) {
+        check(config_.fu_images[j].name != image.name,
+              "FarmConfig::fu_images: duplicate image name '" + image.name +
+                  "'");
+      }
+    }
+  }
   const std::size_t n = config_.shards == 0 ? 1 : config_.shards;
+  demand_.resize(n);
+  placed_.assign(n, 0);
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -462,8 +632,64 @@ Farm::SessionId Farm::create_session() {
   return next_session_.fetch_add(1);
 }
 
+Farm::SessionId Farm::create_session(std::vector<std::string> required) {
+  check(!config_.fu_images.empty(),
+        "Farm::create_session(required): the farm has no algorithm images "
+        "(set FarmConfig::fu_images)");
+  for (const std::string& name : required) {
+    bool known = false;
+    for (const AlgorithmImage& image : config_.fu_images) {
+      known = known || image.name == name;
+    }
+    check(known, "Farm::create_session: unknown image '" + name + "'");
+  }
+  const SessionId id = next_session_.fetch_add(1);
+  std::lock_guard<std::mutex> lk(placement_m_);
+  // FU-affine placement: maximise overlap with demand already placed on a
+  // shard (the host-side approximation of residency — the live managers
+  // are worker-thread-affine), break ties toward the least-loaded shard.
+  std::size_t best = 0;
+  std::size_t best_overlap = 0;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::size_t overlap = 0;
+    for (const std::string& name : required) {
+      if (demand_[s].count(name) != 0) {
+        ++overlap;
+      }
+    }
+    if (s == 0 || overlap > best_overlap ||
+        (overlap == best_overlap && placed_[s] < best_load)) {
+      best = s;
+      best_overlap = overlap;
+      best_load = placed_[s];
+    }
+  }
+  for (const std::string& name : required) {
+    ++demand_[best][name];
+  }
+  ++placed_[best];
+  session_shard_[id] = best;
+  session_required_[id] = std::move(required);
+  return id;
+}
+
 std::size_t Farm::shard_of(SessionId session) const {
+  {
+    std::lock_guard<std::mutex> lk(placement_m_);
+    const auto it = session_shard_.find(session);
+    if (it != session_shard_.end()) {
+      return it->second;
+    }
+  }
   return static_cast<std::size_t>(session % shards_.size());
+}
+
+std::vector<std::string> Farm::required_of(SessionId session) const {
+  std::lock_guard<std::mutex> lk(placement_m_);
+  const auto it = session_required_.find(session);
+  return it == session_required_.end() ? std::vector<std::string>{}
+                                       : it->second;
 }
 
 std::size_t Farm::in_flight(SessionId session) const {
@@ -491,6 +717,7 @@ std::future<std::vector<msg::Response>> Farm::submit(
   job.program = std::move(program);
   job.budget = budget_cycles.value_or(config_.job_budget_cycles);
   job.session = session;
+  job.required = required_of(session);
   job.has_promise = true;
   std::future<std::vector<msg::Response>> fut = job.promise.get_future();
   enqueue(shard_of(session), std::move(job));
@@ -515,6 +742,7 @@ void Farm::submit_async(SessionId session, isa::Program program, Callback done,
   job.program = std::move(program);
   job.budget = budget_cycles.value_or(config_.job_budget_cycles);
   job.session = session;
+  job.required = required_of(session);
   job.callback = std::move(done);
   enqueue(shard_of(session), std::move(job));
 }
@@ -542,6 +770,7 @@ void Farm::submit_stream(SessionId session, isa::Program program,
   job.program = std::move(program);
   job.budget = budget_cycles.value_or(config_.job_budget_cycles);
   job.session = session;
+  job.required = required_of(session);
   job.stream = std::move(on_response);
   job.done = std::move(on_done);
   enqueue(shard_of(session), std::move(job));

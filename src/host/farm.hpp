@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "host/algod.hpp"
 #include "host/reliable_transport.hpp"
 #include "isa/program.hpp"
 #include "msg/response.hpp"
@@ -29,6 +31,11 @@ class FarmError : public SimError {
     kShutdown,    ///< submitted against a farm that is shutting down
     kOverload,    ///< load shed: the shard's queue is full (Admission::kShed)
                   ///< or the session is at its in-flight bound
+    kUnitUnavailable,  ///< a required functional unit could not be made (or
+                       ///< did not stay) resident — an unregistered or
+                       ///< oversized required set, or an eviction racing
+                       ///< in-flight work.  Retryable: the shard is healthy
+                       ///< and its register state is intact
   };
 
   FarmError(Kind kind, std::size_t shard, const std::string& what)
@@ -82,6 +89,22 @@ struct FarmConfig {
   /// is busy; it is exact whenever a shard goes idle and after shutdown().
   /// 1 restores publish-after-every-job.
   std::size_t stats_publish_interval = 16;
+
+  // -- Algorithm-on-demand ---------------------------------------------------
+  /// Loadable algorithm images, registered on every shard's FuManager (each
+  /// shard constructs its own units via the image factories; the factories
+  /// are only ever invoked on the owning worker thread).  Empty = no
+  /// manager: the farm serves exactly the units SystemConfig attaches, as
+  /// before.
+  std::vector<AlgorithmImage> fu_images;
+  /// Per-shard physical FU slot budget (codes resident at once).  The
+  /// multi-tenant regime of interest is fu_slots < the union of the
+  /// tenants' demands, which forces replacement traffic.
+  std::size_t fu_slots = 4;
+  /// Per-shard replacement-policy factory (each shard needs its own policy
+  /// instance — policies are stateful and shards are share-nothing).  Null
+  /// = LRU.
+  std::function<std::shared_ptr<ReplacementPolicy>()> fu_policy;
 };
 
 /// A multi-System coprocessor farm: N independent shards, each one whole
@@ -189,6 +212,16 @@ class Farm {
   /// shards at creation).
   SessionId create_session();
 
+  /// New session declaring the algorithm images its jobs require (by
+  /// registered image name; requires FarmConfig::fu_images).  Placement is
+  /// FU-affine: the session lands on the shard whose already-placed demand
+  /// overlaps its required set most (an eviction-avoiding approximation of
+  /// residency — the live FuManagers are worker-thread-affine and cannot
+  /// be queried here), load-balanced across ties.  Every job submitted on
+  /// the session ensures the set is resident before it issues; a set that
+  /// cannot be satisfied fails jobs with FarmError{kUnitUnavailable}.
+  SessionId create_session(std::vector<std::string> required);
+
   /// The shard a session's jobs run on.
   std::size_t shard_of(SessionId session) const;
 
@@ -220,6 +253,8 @@ class Farm {
   struct Job;
 
   void enqueue(std::size_t shard_index, Job job);
+  /// Required image set a session declared (empty for plain sessions).
+  std::vector<std::string> required_of(SessionId session) const;
 
   FarmConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -228,6 +263,18 @@ class Farm {
   std::atomic<bool> stopping_{false};
   std::mutex shutdown_m_;
   bool joined_ = false;  ///< under shutdown_m_
+
+  // -- FU-affine session placement, under placement_m_ -----------------------
+  mutable std::mutex placement_m_;
+  /// Sessions created with a required set; absent sessions use the modulo
+  /// mapping (back-compat for create_session()).
+  std::map<SessionId, std::size_t> session_shard_;
+  std::map<SessionId, std::vector<std::string>> session_required_;
+  /// Per-shard demand tally: how many placed sessions require each image.
+  /// The placement heuristic's residency approximation.
+  std::vector<std::map<std::string, std::size_t>> demand_;
+  /// Sessions placed per shard (load-balance tie-break).
+  std::vector<std::size_t> placed_;
 };
 
 }  // namespace fpgafu::host

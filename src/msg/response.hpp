@@ -26,6 +26,10 @@ enum class ErrorCode : std::uint8_t {
   kTransport = 4,        ///< synthesised by host::ReliableTransport: the
                          ///< response was lost and the instruction could
                          ///< not be safely re-submitted
+  kUnitUnavailable = 5,  ///< the function code is *known* but its unit is
+                         ///< currently detached, draining or loading (FU
+                         ///< hot-swap in progress) — retry after the swap,
+                         ///< unlike kUnknownFunction which is permanent
 };
 
 /// One message from the coprocessor back to the host.  The message encoder

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "rtm/decoded.hpp"
@@ -66,6 +67,19 @@ class Dispatcher : public sim::Component {
   /// itself checked) would silently break the moment the dispatcher's
   /// input is registered or fed by a different upstream stage.
   bool busy() const { return in != nullptr && in->valid.peek(); }
+
+  /// Function code of the instruction pending pre-dispatch, if any.  The
+  /// hot-swap path asks this before detaching: a stalled instruction that
+  /// was admitted while its unit was attached must either dispatch or be
+  /// drained as a typed error — silently detaching under it would turn a
+  /// valid operation into an unknown-function fault (or wedge the
+  /// pipeline), which is the PR-1 quiescence blind spot all over again.
+  std::optional<isa::FunctionCode> pending_function() const {
+    if (in == nullptr || !in->valid.peek()) {
+      return std::nullopt;
+    }
+    return in->data.peek().inst.function;
+  }
 
   void eval() override {
     // Decide the routing first, then drive every output wire exactly once
@@ -207,9 +221,16 @@ class Dispatcher : public sim::Component {
     if (inst.function != isa::fc::kRtm) {
       fu::FunctionalUnit* unit = table_->find(inst.function);
       if (unit == nullptr) {
+        // A code that is *known* but momentarily without a dispatchable
+        // unit (draining ahead of an eviction, or loading after one) gets
+        // the retryable kUnitUnavailable, distinct from the permanent
+        // kUnknownFunction — hosts re-submit after the swap instead of
+        // failing the program.
         plan.route = Route::kToExec;
         plan.packet.di = di;
-        plan.packet.di.error = msg::ErrorCode::kUnknownFunction;
+        plan.packet.di.error = table_->unavailable(inst.function)
+                                   ? msg::ErrorCode::kUnitUnavailable
+                                   : msg::ErrorCode::kUnknownFunction;
         return plan;
       }
       // Dual-output operations additionally write dst_reg2 (the aux

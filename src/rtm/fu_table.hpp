@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -12,58 +13,120 @@ namespace fpgafu::rtm {
 /// Functional unit table (paper Fig. 4): maps instruction function codes to
 /// attached functional units.  "External table module definitions alleviate
 /// customisation" — attaching a unit is the only configuration step.
+///
+/// Runtime hot-swap support (the partial-reconfiguration model the
+/// algorithm-on-demand manager drives, cf. the Agile AOD co-processor):
+///
+///  * every code has a *lifecycle state*: resident (dispatchable), draining
+///    (attached so in-flight writes still retire through the arbiter, but
+///    the dispatcher refuses new instructions), or declared-unavailable
+///    (no unit attached, but the code is *known* — evicted or still
+///    loading).  Instructions for a draining or declared code yield typed
+///    kUnitUnavailable error responses, distinct from kUnknownFunction, so
+///    hosts can retry after the swap instead of failing the program;
+///  * `find`/`index_of` are O(1) via a code-indexed lookup table kept
+///    coherent across attach/detach — the decode hot path must not pay a
+///    linear scan over a table that now churns at runtime.
 class FunctionalUnitTable {
  public:
+  FunctionalUnitTable() {
+    index_.fill(kNoSlot);
+    unavailable_.fill(false);
+  }
+
   /// Attach a unit under a function code.  Returns the unit's table index
   /// (used as the lock-owner id).  Codes must be unique and not fc::kRtm.
   /// Detached slots are reused, preserving the indices of other units.
+  /// Clears any declared-unavailable marker for the code (the swap
+  /// completed; the unit is dispatchable again).
   std::uint32_t attach(isa::FunctionCode code, fu::FunctionalUnit& unit) {
     check(code != isa::fc::kRtm, "fc::kRtm is reserved for the RTM itself");
-    check(find(code) == nullptr, "function code already attached");
+    check(index_[code] == kNoSlot, "function code already attached");
+    unavailable_[code] = false;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       if (entries_[i].unit == nullptr) {
-        entries_[i] = {code, &unit};
+        entries_[i] = {code, &unit, false};
+        index_[code] = static_cast<std::int16_t>(i);
         return static_cast<std::uint32_t>(i);
       }
     }
-    entries_.push_back({code, &unit});
+    entries_.push_back({code, &unit, false});
+    index_[code] = static_cast<std::int16_t>(entries_.size() - 1);
     return static_cast<std::uint32_t>(entries_.size() - 1);
   }
 
   /// Detach the unit under `code` — the model's equivalent of partial
   /// reconfiguration (cf. Wirthlin & Hutchings' dynamic instruction set,
   /// discussed in the paper's related work): subsequent instructions with
-  /// this code yield unknown-function error responses until a new unit is
-  /// attached.  The caller must only detach an idle unit with no writes in
-  /// flight (System::detach enforces this).
+  /// this code yield error responses until a new unit is attached
+  /// (kUnknownFunction, or kUnitUnavailable once declared).  The caller
+  /// must only detach an idle unit with no writes in flight (Rtm::detach
+  /// enforces this, including the stalled-pre-dispatch case).
   void detach(isa::FunctionCode code) {
-    for (Entry& e : entries_) {
-      if (e.unit != nullptr && e.code == code) {
-        e.unit = nullptr;
-        return;
-      }
-    }
-    throw SimError("detach: function code not attached");
+    const std::int16_t slot = index_[code];
+    check(slot != kNoSlot, "detach: function code not attached");
+    entries_[static_cast<std::size_t>(slot)].unit = nullptr;
+    entries_[static_cast<std::size_t>(slot)].draining = false;
+    index_[code] = kNoSlot;
   }
 
-  /// Unit registered under `code`, or nullptr.
+  /// Unit registered under `code` and dispatchable, or nullptr.  This is
+  /// the *dispatcher's* view: a draining unit is invisible here (new
+  /// instructions must not reach it) even though its slot stays active so
+  /// the write arbiter retires its in-flight completions.
   fu::FunctionalUnit* find(isa::FunctionCode code) const {
-    for (const Entry& e : entries_) {
-      if (e.unit != nullptr && e.code == code) {
-        return e.unit;
-      }
+    const std::int16_t slot = index_[code];
+    if (slot == kNoSlot || entries_[static_cast<std::size_t>(slot)].draining) {
+      return nullptr;
     }
-    return nullptr;
+    return entries_[static_cast<std::size_t>(slot)].unit;
   }
 
-  /// Table index for `code`; requires the code to be attached.
+  /// Table index for `code`; requires the code to be attached.  Draining
+  /// entries are still found — this is the *management* view (lock-owner
+  /// ids, Rtm::detach) rather than the dispatch view.
   std::uint32_t index_of(isa::FunctionCode code) const {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if (entries_[i].unit != nullptr && entries_[i].code == code) {
-        return static_cast<std::uint32_t>(i);
-      }
+    const std::int16_t slot = index_[code];
+    check(slot != kNoSlot, "function code not attached");
+    return static_cast<std::uint32_t>(slot);
+  }
+
+  /// True when the code is attached (resident or draining).
+  bool attached(isa::FunctionCode code) const {
+    return index_[code] != kNoSlot;
+  }
+
+  // -- Hot-swap lifecycle ----------------------------------------------------
+  /// Mark an attached code as draining: find() stops returning it, so new
+  /// instructions become kUnitUnavailable errors, while the slot stays
+  /// active for the arbiter to retire in-flight writes.
+  void set_draining(isa::FunctionCode code, bool draining) {
+    const std::int16_t slot = index_[code];
+    check(slot != kNoSlot, "set_draining: function code not attached");
+    entries_[static_cast<std::size_t>(slot)].draining = draining;
+  }
+
+  /// Declare a *detached* code as known-but-unavailable (registered with a
+  /// hot-swap manager, currently evicted or loading): instructions for it
+  /// yield kUnitUnavailable instead of kUnknownFunction.  Cleared by
+  /// attach().
+  void mark_unavailable(isa::FunctionCode code) {
+    check(index_[code] == kNoSlot,
+          "mark_unavailable: code is attached (use set_draining)");
+    unavailable_[code] = true;
+  }
+  void clear_unavailable(isa::FunctionCode code) {
+    unavailable_[code] = false;
+  }
+
+  /// True when instructions for `code` should yield kUnitUnavailable (the
+  /// code is draining, loading or evicted) rather than kUnknownFunction.
+  bool unavailable(isa::FunctionCode code) const {
+    const std::int16_t slot = index_[code];
+    if (slot != kNoSlot) {
+      return entries_[static_cast<std::size_t>(slot)].draining;
     }
-    throw SimError("function code not attached");
+    return unavailable_[code];
   }
 
   /// Number of table slots (detached slots included; test with
@@ -71,6 +134,9 @@ class FunctionalUnitTable {
   std::size_t size() const { return entries_.size(); }
   bool slot_active(std::uint32_t index) const {
     return entries_.at(index).unit != nullptr;
+  }
+  bool slot_draining(std::uint32_t index) const {
+    return entries_.at(index).draining;
   }
   fu::FunctionalUnit& unit(std::uint32_t index) const {
     check(entries_.at(index).unit != nullptr, "detached unit slot");
@@ -81,11 +147,19 @@ class FunctionalUnitTable {
   }
 
  private:
+  static constexpr std::int16_t kNoSlot = -1;
+
   struct Entry {
     isa::FunctionCode code;
     fu::FunctionalUnit* unit;
+    bool draining;
   };
   std::vector<Entry> entries_;
+  /// code -> slot lookup (kNoSlot when detached), kept coherent across
+  /// attach/detach so the decode hot path never scans.
+  std::array<std::int16_t, 256> index_;
+  /// Codes declared known-but-not-resident by a hot-swap manager.
+  std::array<bool, 256> unavailable_;
 };
 
 }  // namespace fpgafu::rtm

@@ -14,6 +14,17 @@
 
 namespace fpgafu::rtm {
 
+/// Typed refusal from Rtm::detach: the unit cannot be removed *right now*
+/// because work for it is still in the pipeline — a write in flight, or an
+/// instruction stalled pre-dispatch that was admitted while the unit was
+/// attached.  Callers that want to remove the unit under live traffic use
+/// the drain protocol instead (begin_detach / detach_drained /
+/// finish_detach) rather than catch-and-spin on this.
+class DetachBusy : public SimError {
+ public:
+  using SimError::SimError;
+};
+
 /// Configuration generics of the register transfer machine — the VHDL-style
 /// size parameters the paper's controller exposes ("the architecture of the
 /// controller is specified as a set of generics in VHDL").
@@ -71,24 +82,67 @@ class Rtm {
 
   /// Detach the unit under `code` — the partial-reconfiguration analogue
   /// (paper related work [7]): later instructions with this code become
-  /// error responses until something else is attached.  Refuses while the
-  /// unit still owns register locks (writes in flight); the caller should
-  /// quiesce first (e.g. a SYNC).
+  /// error responses until something else is attached.  Refuses with the
+  /// typed DetachBusy while the unit still owns register locks (writes in
+  /// flight) *or* an instruction for this code sits stalled pre-dispatch
+  /// (the same blind spot as the PR-1 quiescence bug: that instruction was
+  /// admitted under the attached contract and nothing else accounts for
+  /// it).  The caller should quiesce first (e.g. a SYNC), or use the drain
+  /// protocol below to remove a unit under live traffic.
   void detach(isa::FunctionCode code) {
     const std::uint32_t index = table_.index_of(code);
-    for (std::size_t r = 0; r < regs_.size(); ++r) {
-      check(!(locks_.data_locked(static_cast<isa::RegNum>(r)) &&
-              locks_.data_owner(static_cast<isa::RegNum>(r)) == index),
-            "detach: unit still has a data write in flight");
+    if (unit_writes_in_flight(index)) {
+      throw DetachBusy("detach: unit still has a write in flight");
     }
-    for (std::size_t r = 0; r < flags_.size(); ++r) {
-      check(!(locks_.flag_locked(static_cast<isa::RegNum>(r)) &&
-              locks_.flag_owner(static_cast<isa::RegNum>(r)) == index),
-            "detach: unit still has a flag write in flight");
+    if (dispatcher_.pending_function() == code) {
+      throw DetachBusy(
+          "detach: an instruction for this code is stalled pre-dispatch; "
+          "drain it first (begin_detach) or quiesce with a SYNC");
     }
     table_.detach(code);
     dispatcher_.wake();
     arbiter_.wake();
+  }
+
+  // -- Hot-swap drain protocol ----------------------------------------------
+  /// Start removing `code` under live traffic: the dispatcher stops
+  /// routing instructions to the unit — new (and stalled) instructions for
+  /// the code drain as typed kUnitUnavailable error responses — while
+  /// in-flight writes keep retiring through the arbiter.  Poll
+  /// detach_drained() while advancing the clock, then finish_detach().
+  void begin_detach(isa::FunctionCode code) {
+    table_.set_draining(code, true);
+    dispatcher_.wake();
+    arbiter_.wake();
+  }
+
+  /// True when a draining unit has fully quiesced: no register locks owned
+  /// by it and no instruction for its code pending pre-dispatch.
+  bool detach_drained(isa::FunctionCode code) const {
+    return !unit_writes_in_flight(table_.index_of(code)) &&
+           dispatcher_.pending_function() != code;
+  }
+
+  /// Complete a begin_detach(): remove the unit from the table and declare
+  /// the code unavailable (subsequent instructions keep yielding
+  /// kUnitUnavailable — the slot is empty but the code is still known).
+  /// Requires detach_drained(code).
+  void finish_detach(isa::FunctionCode code) {
+    check(detach_drained(code),
+          "finish_detach: unit has not drained (writes in flight or an "
+          "instruction stalled pre-dispatch)");
+    table_.detach(code);
+    table_.mark_unavailable(code);
+    dispatcher_.wake();
+    arbiter_.wake();
+  }
+
+  /// Declare a detached code known-but-unavailable (a hot-swap manager
+  /// registered it; its image is not loaded yet): instructions for it
+  /// yield kUnitUnavailable instead of kUnknownFunction.
+  void declare_unavailable(isa::FunctionCode code) {
+    table_.mark_unavailable(code);
+    dispatcher_.wake();
   }
 
   /// Bind the instruction-stream input (message buffer output).
@@ -147,6 +201,24 @@ class Rtm {
   }
 
  private:
+  /// True while the unit at table `index` still owns any register lock —
+  /// i.e. a dispatched instruction's writeback has not retired yet.
+  bool unit_writes_in_flight(std::uint32_t index) const {
+    for (std::size_t r = 0; r < regs_.size(); ++r) {
+      if (locks_.data_locked(static_cast<isa::RegNum>(r)) &&
+          locks_.data_owner(static_cast<isa::RegNum>(r)) == index) {
+        return true;
+      }
+    }
+    for (std::size_t r = 0; r < flags_.size(); ++r) {
+      if (locks_.flag_locked(static_cast<isa::RegNum>(r)) &&
+          locks_.flag_owner(static_cast<isa::RegNum>(r)) == index) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   RtmConfig config_;
   RegisterFile regs_;
   FlagRegisterFile flags_;

@@ -141,8 +141,22 @@ class System {
   }
 
   /// Detach a unit at runtime (partial reconfiguration analogue).  Quiesce
-  /// first — e.g. issue a SYNC through the host driver.
+  /// first — e.g. issue a SYNC through the host driver.  Throws
+  /// rtm::DetachBusy if the unit still has work in the pipeline; use the
+  /// drain protocol (begin_detach / detach_drained / finish_detach) to
+  /// remove a unit under live traffic instead.
   void detach(isa::FunctionCode code) { rtm_.detach(code); }
+
+  /// Hot-swap drain protocol passthroughs (see Rtm) — used by the
+  /// host-side algorithm-on-demand manager (host::FuManager).
+  void begin_detach(isa::FunctionCode code) { rtm_.begin_detach(code); }
+  bool detach_drained(isa::FunctionCode code) const {
+    return rtm_.detach_drained(code);
+  }
+  void finish_detach(isa::FunctionCode code) { rtm_.finish_detach(code); }
+  void declare_unavailable(isa::FunctionCode code) {
+    rtm_.declare_unavailable(code);
+  }
 
   sim::Simulator& simulator() { return sim_; }
   const sim::Simulator& simulator() const { return sim_; }

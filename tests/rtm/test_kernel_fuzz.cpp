@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "fu/scratchpad_unit.hpp"
+#include "host/algod.hpp"
 #include "host/coprocessor.hpp"
 #include "host/reliable_transport.hpp"
 #include "sim/vcd.hpp"
@@ -79,7 +81,8 @@ struct FuzzSpec {
 /// then dispatch to the user-code unit.  Addresses are mostly in range,
 /// sometimes deliberately past the end (error-flag path).
 void append_scratch_ops(isa::Program& p, Xoshiro256& rng,
-                        const rtm::RtmConfig& rcfg, std::size_t words) {
+                        const rtm::RtmConfig& rcfg, std::size_t words,
+                        isa::FunctionCode code = kScratchCode) {
   const auto data_reg = [&] {
     return static_cast<isa::RegNum>(rng.below(rcfg.data_regs));
   };
@@ -95,7 +98,7 @@ void append_scratch_ops(isa::Program& p, Xoshiro256& rng,
     p.emit_put(addr_reg, addr);
     p.emit_put(value_reg, rng.next());
     isa::Instruction inst;
-    inst.function = kScratchCode;
+    inst.function = code;
     switch (rng.below(5)) {
       case 0: inst.variety = fu::ScratchpadUnit::kRead; break;
       case 1: inst.variety = fu::ScratchpadUnit::kFill; break;
@@ -332,6 +335,209 @@ TEST(KernelFuzz, RandomTopologiesAgreeAcrossAllKernels) {
       EXPECT_EQ(got.vcd, ref.vcd) << who;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Managed-mode churn: the same differential pin, but with mid-program
+// attach/detach driven through host::FuManager instead of raw System calls.
+// Two single-code images compete for a one-slot budget, so every swap in the
+// schedule exercises the full drain → finish_detach → loader → attach path;
+// ops aimed at the non-resident image must come back as kUnitUnavailable
+// (identically, under every kernel), and the manager's own counters — which
+// include clock-charged load/drain cycles — must match byte-for-byte too.
+
+/// Second managed function code, competing with kScratchCode for the slot.
+constexpr isa::FunctionCode kAltCode = isa::fc::kUserBase + 1;
+
+/// One managed-churn fuzz case, decided up front from the seed.
+struct ManagedSpec {
+  std::uint64_t seed = 0;
+  top::SystemConfig config;
+  std::size_t scratch_words = 8;
+  std::size_t alt_words = 8;
+  std::uint64_t scratch_load_cycles = 0;
+  std::uint64_t alt_load_cycles = 0;
+  std::vector<isa::Program> segments;
+  /// resident[i] is ensured through the manager before segments[i] runs; a
+  /// repeat is a cache hit, a change is an evict+load swap.
+  std::vector<std::string> resident;
+  bool with_vcd = false;
+};
+
+ManagedSpec make_managed_spec(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ManagedSpec s;
+  s.seed = seed;
+  top::SystemConfig& cfg = s.config;
+
+  cfg.rtm.data_regs = rng.range(8, 16);
+  cfg.rtm.flag_regs = rng.range(2, 6);
+  cfg.rtm.round_robin_arbiter = rng.chance(1, 2);
+  cfg.message_buffer_depth = rng.range(1, 6);
+  cfg.link_down = {static_cast<std::uint32_t>(rng.range(1, 3)),
+                   static_cast<std::uint32_t>(rng.range(1, 2))};
+  cfg.link_up = {static_cast<std::uint32_t>(rng.range(1, 3)),
+                 static_cast<std::uint32_t>(rng.range(1, 2))};
+  cfg.with_arithmetic = true;
+  cfg.with_logic = rng.chance(1, 2);
+
+  s.scratch_words = rng.range(4, 32);
+  s.alt_words = rng.range(4, 32);
+  s.scratch_load_cycles = rng.range(0, 400);
+  s.alt_load_cycles = rng.range(0, 400);
+
+  const std::uint64_t segments = rng.range(2, 4);
+  std::string resident = rng.chance(1, 2) ? "scratch" : "alt";
+  for (std::uint64_t i = 0; i < segments; ++i) {
+    s.resident.push_back(resident);
+    ProgramGenOptions opt;
+    opt.instructions = rng.range(20, 60);
+    opt.include_errors = rng.chance(1, 3);
+    isa::Program p = random_program(cfg.rtm, rng.next(), opt);
+    const isa::FunctionCode here =
+        resident == "scratch" ? kScratchCode : kAltCode;
+    const std::size_t words =
+        resident == "scratch" ? s.scratch_words : s.alt_words;
+    append_scratch_ops(p, rng, cfg.rtm, words, here);
+    if (rng.chance(1, 3)) {
+      // A few ops for the image that is NOT resident: these must drain out
+      // as kUnitUnavailable error responses under every kernel.
+      append_scratch_ops(p, rng, cfg.rtm, words,
+                         here == kScratchCode ? kAltCode : kScratchCode);
+    }
+    s.segments.push_back(std::move(p));
+    if (rng.chance(2, 3)) {
+      resident = resident == "scratch" ? "alt" : "scratch";
+    }
+  }
+  s.with_vcd = (seed % 4) == 0;
+  return s;
+}
+
+FuzzRun run_managed_or_throw(const ManagedSpec& s, Simulator::Kernel kernel) {
+  top::System sys(s.config);
+  sys.simulator().set_kernel(kernel);
+  host::Coprocessor copro(sys);
+  host::TransportConfig tcfg;
+  tcfg.response_timeout = 500;
+  tcfg.max_attempts = 25;
+  host::ReliableTransport transport(copro, tcfg);
+
+  host::FuManagerConfig mcfg;
+  mcfg.slots = 1;  // one physical slot: every image change is a full swap
+  host::FuManager manager(copro, mcfg);
+  const auto scratch_factory = [words = s.scratch_words, &cfg = s.config](
+                                   sim::Simulator& sim,
+                                   isa::FunctionCode) {
+    return std::unique_ptr<fu::FunctionalUnit>(new fu::ScratchpadUnit(
+        sim, "scratch", words, cfg.rtm.word_width));
+  };
+  const auto alt_factory = [words = s.alt_words, &cfg = s.config](
+                               sim::Simulator& sim, isa::FunctionCode) {
+    return std::unique_ptr<fu::FunctionalUnit>(
+        new fu::ScratchpadUnit(sim, "alt", words, cfg.rtm.word_width));
+  };
+  host::AlgorithmImage scratch_img;
+  scratch_img.name = "scratch";
+  scratch_img.codes = {kScratchCode};
+  scratch_img.load_cycles = s.scratch_load_cycles;
+  scratch_img.factory = scratch_factory;
+  manager.register_image(std::move(scratch_img));
+  host::AlgorithmImage alt_img;
+  alt_img.name = "alt";
+  alt_img.codes = {kAltCode};
+  alt_img.load_cycles = s.alt_load_cycles;
+  alt_img.factory = alt_factory;
+  manager.register_image(std::move(alt_img));
+
+  std::ostringstream vcd_os;
+  std::unique_ptr<sim::VcdWriter> vcd;
+  if (s.with_vcd) {
+    vcd = std::make_unique<sim::VcdWriter>(sys.simulator(), vcd_os, 20);
+    vcd->probe("r0", 32, [&] { return sys.rtm().regs().read(0); });
+    vcd->probe("f0", 8, [&] { return sys.rtm().flags().read(0); });
+  }
+
+  FuzzRun out;
+  for (std::size_t i = 0; i < s.segments.size(); ++i) {
+    manager.ensure_resident(s.resident[i]);
+    const std::vector<msg::Response> resp = transport.call(s.segments[i]);
+    out.responses.insert(out.responses.end(), resp.begin(), resp.end());
+  }
+
+  for (std::size_t r = 0; r < s.config.rtm.data_regs; ++r) {
+    out.regs.push_back(sys.rtm().regs().read(static_cast<isa::RegNum>(r)));
+  }
+  for (std::size_t r = 0; r < s.config.rtm.flag_regs; ++r) {
+    out.flags.push_back(sys.rtm().flags().read(static_cast<isa::RegNum>(r)));
+  }
+  out.cycles = sys.simulator().cycle();
+  out.rtm_counters = sys.rtm().counters().all();
+  // Fold in the manager's counters (keys are "algod."-prefixed, so they
+  // cannot collide): swap accounting must also be kernel-independent.
+  for (const auto& [key, value] : manager.counters().all()) {
+    out.rtm_counters[key] = value;
+  }
+  out.transport_counters = transport.counters().all();
+  out.vcd = vcd_os.str();
+  return out;
+}
+
+FuzzRun run_managed(const ManagedSpec& s, Simulator::Kernel kernel) {
+  try {
+    return run_managed_or_throw(s, kernel);
+  } catch (const SimError& e) {
+    throw SimError("managed fuzz seed " + std::to_string(s.seed) +
+                   " under kernel " + Simulator::kernel_name(kernel) + ": " +
+                   e.what());
+  }
+}
+
+TEST(KernelFuzz, ManagedSwapChurnAgreesAcrossAllKernels) {
+  // Managed runs carry 2-4 segments with swaps in most gaps, so a quarter
+  // of the plain-fuzz case count still yields hundreds of manager swaps.
+  const std::size_t systems =
+      std::max<std::size_t>(fuzz_system_count() / 4, 16);
+  bool saw_unavailable = false;
+  for (std::size_t i = 0; i < systems; ++i) {
+    const std::uint64_t seed = 0xA190D000ULL + i;
+    const ManagedSpec spec = make_managed_spec(seed);
+    SCOPED_TRACE("managed fuzz seed " + std::to_string(seed));
+
+    const FuzzRun ref = run_managed(spec, Simulator::Kernel::kBruteForce);
+    ASSERT_FALSE(ref.responses.empty());
+    ASSERT_GT(ref.rtm_counters.at("algod.loads"), 0u);
+    for (const auto& resp : ref.responses) {
+      if (resp.type == msg::Response::Type::kError &&
+          resp.code ==
+              static_cast<std::uint8_t>(msg::ErrorCode::kUnitUnavailable)) {
+        saw_unavailable = true;
+      }
+    }
+    for (const auto kernel : Simulator::kAllKernels) {
+      if (kernel == Simulator::Kernel::kBruteForce) {
+        continue;
+      }
+      const FuzzRun got = run_managed(spec, kernel);
+      const char* who = Simulator::kernel_name(kernel);
+      ASSERT_EQ(got.responses.size(), ref.responses.size()) << who;
+      for (std::size_t r = 0; r < got.responses.size(); ++r) {
+        ASSERT_EQ(got.responses[r], ref.responses[r])
+            << who << " response " << r << ": "
+            << msg::to_string(got.responses[r]) << " vs brute "
+            << msg::to_string(ref.responses[r]);
+      }
+      EXPECT_EQ(got.regs, ref.regs) << who;
+      EXPECT_EQ(got.flags, ref.flags) << who;
+      EXPECT_EQ(got.cycles, ref.cycles) << who;
+      EXPECT_EQ(got.rtm_counters, ref.rtm_counters) << who;
+      EXPECT_EQ(got.transport_counters, ref.transport_counters) << who;
+      EXPECT_EQ(got.vcd, ref.vcd) << who;
+    }
+  }
+  // The schedule mixes in ops for the swapped-out image often enough that
+  // the typed-unavailable path must have been exercised at least once.
+  EXPECT_TRUE(saw_unavailable);
 }
 
 }  // namespace

@@ -136,5 +136,100 @@ TEST(Reconfiguration, DetachUnknownCodeThrows) {
   EXPECT_THROW(sys.detach(0x7a), SimError);
 }
 
+TEST(Reconfiguration, DetachUnderStalledInstructionIsDetachBusy) {
+  // The PR-1 quiescence bug, replayed against detach: an instruction can
+  // sit *pre-dispatch* — stalled on a RAW hazard — with its target unit
+  // holding zero locks.  The old detach only checked locks, so it would
+  // yank the unit out from under an already-admitted instruction.  Set it
+  // up: a slow MUL locks r1, then an ADD reading r1 stalls pre-dispatch
+  // while the arithmetic unit is completely idle.
+  System sys({});
+  Coprocessor copro(sys);
+  copro.submit(Assembler::assemble(R"(
+    PUTI r2, 5
+    PUTI r4, 3
+    MUL r1, r2, r4
+    ADD r3, r1, r2
+  )"));
+  sys.simulator().run_until(
+      [&] {
+        return sys.rtm().dispatcher().pending_function() == isa::fc::kArith;
+      },
+      10000);
+  ASSERT_EQ(sys.rtm().dispatcher().pending_function(), isa::fc::kArith);
+  // The arithmetic unit owns no locks, yet detach must refuse, typed.
+  EXPECT_THROW(sys.detach(isa::fc::kArith), rtm::DetachBusy);
+  // The mul/div unit has a write in flight: also DetachBusy.
+  EXPECT_THROW(sys.detach(isa::fc::kMulDiv), rtm::DetachBusy);
+  // Both still attached; the program completes normally afterwards.
+  copro.sync();
+  EXPECT_EQ(copro.read_reg(3), 15u + 5u);
+  sys.detach(isa::fc::kArith);  // quiesced: allowed now
+}
+
+TEST(Reconfiguration, DrainProtocolDrainsStalledInstructionAsTypedError) {
+  // Same stall, resolved the live-traffic way: begin_detach() makes the
+  // dispatcher refuse the stalled ADD (it drains as a kUnitUnavailable
+  // error response — retryable, unlike kUnknownFunction), the MUL's write
+  // retires through the arbiter, and quiescent() is reached instead of
+  // wedging on an instruction whose unit vanished.
+  System sys({});
+  Coprocessor copro(sys);
+  copro.submit(Assembler::assemble(R"(
+    PUTI r2, 5
+    PUTI r4, 3
+    MUL r1, r2, r4
+    ADD r3, r1, r2
+  )"));
+  sys.simulator().run_until(
+      [&] {
+        return sys.rtm().dispatcher().pending_function() == isa::fc::kArith;
+      },
+      10000);
+  ASSERT_EQ(sys.rtm().dispatcher().pending_function(), isa::fc::kArith);
+
+  sys.begin_detach(isa::fc::kArith);
+  // The stalled ADD drains as a typed error while the MUL still retires.
+  const Response r = copro.wait_response();
+  EXPECT_EQ(r.type, Response::Type::kError);
+  EXPECT_EQ(r.code,
+            static_cast<std::uint8_t>(msg::ErrorCode::kUnitUnavailable));
+  sys.simulator().run_until([&] { return sys.idle(); }, 100000);
+  EXPECT_TRUE(sys.rtm().quiescent()) << "drain must not wedge quiescent()";
+  EXPECT_EQ(copro.read_reg(1), 15u) << "the in-flight MUL still retired";
+
+  ASSERT_TRUE(sys.detach_drained(isa::fc::kArith));
+  sys.finish_detach(isa::fc::kArith);
+  // Post-drain the code stays *known*: kUnitUnavailable, not unknown.
+  auto r2 = copro.call(Assembler::assemble("ADD r5, r2, r4\nSYNC"));
+  ASSERT_EQ(r2.size(), 2u);
+  EXPECT_EQ(r2[0].type, Response::Type::kError);
+  EXPECT_EQ(r2[0].code,
+            static_cast<std::uint8_t>(msg::ErrorCode::kUnitUnavailable));
+  // Reattaching makes the code dispatchable again (swap completed).
+  fu::StatelessConfig cfg{.width = 32};
+  auto unit2 = fu::make_arithmetic_unit(sys.simulator(), cfg, "arith2");
+  sys.attach(isa::fc::kArith, *unit2);
+  EXPECT_EQ(copro.call(Assembler::assemble("ADD r5, r2, r4\nGET r5"))[0]
+                .payload,
+            8u);
+}
+
+TEST(Reconfiguration, DeclaredUnavailableIsDistinctFromUnknown) {
+  System sys({});
+  Coprocessor copro(sys);
+  copro.sync();
+  sys.detach(isa::fc::kLogic);
+  // Plain detach: unknown (nothing claims to ever serve the code again).
+  auto r1 = copro.call(Assembler::assemble("AND r3, r1, r2\nSYNC"));
+  EXPECT_EQ(r1[0].code,
+            static_cast<std::uint8_t>(msg::ErrorCode::kUnknownFunction));
+  // Declared: a manager owns the code; instructions are retryable.
+  sys.declare_unavailable(isa::fc::kLogic);
+  auto r2 = copro.call(Assembler::assemble("AND r3, r1, r2\nSYNC"));
+  EXPECT_EQ(r2[0].code,
+            static_cast<std::uint8_t>(msg::ErrorCode::kUnitUnavailable));
+}
+
 }  // namespace
 }  // namespace fpgafu::top
