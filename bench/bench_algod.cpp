@@ -217,6 +217,8 @@ void BM_AlgodSlotSweep(benchmark::State& state) {
   };
   const double hits = counter("algod.hits");
   const double misses = counter("algod.misses");
+  const host::LatencyPercentiles lat =
+      host::latency_percentiles(farm.job_latency_samples());
   state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
   state.counters["slots"] = static_cast<double>(slots);
   state.counters["cost_aware"] = cost_aware ? 1.0 : 0.0;
@@ -228,6 +230,12 @@ void BM_AlgodSlotSweep(benchmark::State& state) {
   state.counters["loads"] = counter("algod.loads");
   state.counters["load_cycles"] = counter("algod.load_cycles");
   state.counters["drain_cycles"] = counter("algod.drain_cycles");
+  // Simulated-cycle job latency distribution (enqueue -> completion) over
+  // the most recent samples; the tail shows what slot pressure costs the
+  // unluckiest tenants, not just the mean.
+  state.counters["lat_p50"] = static_cast<double>(lat.p50);
+  state.counters["lat_p95"] = static_cast<double>(lat.p95);
+  state.counters["lat_p99"] = static_cast<double>(lat.p99);
   state.counters["jobs/s"] =
       benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
 }

@@ -179,6 +179,95 @@ void BM_FarmReadStream(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
 }
 
+/// Experiment E16: tiny-program coalescing.  Twelve sessions each own a
+/// disjoint register pair and stream three-instruction jobs
+/// (PUT / ADD / GET — one write barrier per job).  Uncoalesced, the
+/// cross-program write barrier serialises the window at about one link
+/// round trip per job no matter how deep it is; coalesced, members from
+/// different sessions are register-disjoint, the per-register frame
+/// barrier finds no conflicts, and one sequence-numbered frame carries
+/// coalesce_max_programs jobs back to back.  Reported alongside wall-clock
+/// jobs/s: cycles_per_job = farm.shard_cycles / jobs, the deterministic
+/// simulated-cycle cost CI's perf-smoke step asserts the coalescing win
+/// on.
+void BM_FarmTinyProgramStream(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const std::size_t coalesce = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kSessions = 12;
+  constexpr std::size_t kTinyJobsPerIteration = 192;
+  host::FarmConfig fc;
+  fc.shards = 1;
+  fc.transport.window = window;
+  fc.coalesce_max_programs = coalesce;
+  fc.coalesce_max_words = 512;
+  fc.coalesce_flush_cycles = 64;
+  fc.queue_capacity = 2 * kTinyJobsPerIteration;
+  host::Farm farm(fc);
+
+  struct Sess {
+    host::Farm::SessionId id;
+    isa::Program program;
+    std::vector<msg::Response> expected;
+  };
+  Xoshiro256 rng(0xfa12'71e9);
+  std::vector<Sess> sessions;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    // Session i owns registers r(2i+1)/r(2i+2): no two sessions' jobs
+    // touch a common register.
+    const int a = static_cast<int>(1 + 2 * i);
+    const int b = a + 1;
+    Sess s;
+    s.id = farm.create_session();
+    s.program = isa::Assembler::assemble(
+        "PUT r" + std::to_string(a) + ", #" +
+        std::to_string(rng.below(1u << 20)) + "\nADD r" + std::to_string(b) +
+        ", r" + std::to_string(a) + ", r" + std::to_string(a) + "\nGET r" +
+        std::to_string(b));
+    s.expected = host::ReferenceModel(top::SystemConfig{}.rtm).run(s.program);
+    sessions.push_back(std::move(s));
+  }
+
+  std::uint64_t jobs = 0;
+  std::mutex m;
+  std::condition_variable cv;
+  for (auto _ : state) {
+    std::size_t done = 0;
+    std::size_t wrong = 0;
+    auto on_done = [&](std::size_t who) {
+      return [&, who](std::vector<msg::Response> rs, std::exception_ptr err) {
+        std::lock_guard<std::mutex> lk(m);
+        if (err || rs != sessions[who].expected) {
+          ++wrong;
+        }
+        if (++done == kTinyJobsPerIteration) {
+          cv.notify_one();
+        }
+      };
+    };
+    for (std::size_t i = 0; i < kTinyJobsPerIteration; ++i) {
+      const std::size_t who = i % kSessions;
+      farm.submit_async(sessions[who].id, sessions[who].program,
+                        on_done(who));
+    }
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done == kTinyJobsPerIteration; });
+    if (wrong != 0) {
+      state.SkipWithError("tiny-program stream diverged from ReferenceModel");
+      return;
+    }
+    jobs += kTinyJobsPerIteration;
+  }
+  farm.shutdown();  // exact counters (and the final shard clock) publish
+  const std::uint64_t cycles = farm.counters().get("farm.shard_cycles");
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["coalesce"] = static_cast<double>(coalesce);
+  state.counters["cycles_per_job"] =
+      jobs > 0 ? static_cast<double>(cycles) / static_cast<double>(jobs) : 0.0;
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+
 void register_shard_sweep() {
   auto* b = benchmark::RegisterBenchmark("BM_FarmThroughput", BM_FarmThroughput)
                 ->Unit(benchmark::kMillisecond)
@@ -210,6 +299,20 @@ void register_shard_sweep() {
   for (long w : {1, 2, 4, 8, 16, 32}) {
     rs->Arg(w);
   }
+
+  auto* ts = benchmark::RegisterBenchmark("BM_FarmTinyProgramStream",
+                                          BM_FarmTinyProgramStream)
+                 ->Unit(benchmark::kMillisecond)
+                 ->UseRealTime()
+                 ->MeasureProcessCPUTime();
+  // Uncoalesced baselines across window depths (the write barrier keeps
+  // them all near one round trip per job), then coalesced rows.
+  for (long w : {1, 8, 32}) {
+    ts->Args({w, 1});
+  }
+  ts->Args({4, 4});
+  ts->Args({4, 16});
+  ts->Args({8, 16});
 }
 
 }  // namespace

@@ -36,11 +36,17 @@ std::string CostAwarePolicy::victim(
   check(!candidates.empty(), "cost: no eviction candidates");
   const std::string* best = &candidates.front();
   std::uint64_t best_credit = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_touch = std::numeric_limits<std::uint64_t>::max();
   for (const auto& c : candidates) {
-    const auto it = credit_.find(c);
-    const std::uint64_t credit = it == credit_.end() ? 0 : it->second;
-    if (credit < best_credit) {
+    const auto it = entries_.find(c);
+    const std::uint64_t credit = it == entries_.end() ? 0 : it->second.credit;
+    const std::uint64_t touch = it == entries_.end() ? 0 : it->second.touch;
+    // Minimum credit wins; at equal credit the older touch is evicted, so
+    // equal-cost workloads order exactly like LRU.
+    if (credit < best_credit ||
+        (credit == best_credit && touch < best_touch)) {
       best_credit = credit;
+      best_touch = touch;
       best = &c;
     }
   }

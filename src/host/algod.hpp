@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -89,27 +90,44 @@ class LruPolicy final : public ReplacementPolicy {
   std::map<std::string, std::uint64_t> last_use_;
 };
 
-/// GreedyDual-style cost-aware replacement: each resident image carries a
-/// retention credit `H = touch_tick + load_cycles`, refreshed on every
-/// touch; the victim is the minimum-H image.  Expensive-to-reload images
-/// (slow partial bitstreams) survive longer than cheap ones at equal
-/// recency, and the policy degenerates to exact LRU when all costs match.
+/// GreedyDual cost-aware replacement: each resident image carries a
+/// retention credit `H = L + load_cycles`, refreshed on every touch, where
+/// `L` is the *aging level* — the credit of the last evicted image (the
+/// classic GreedyDual "inflation" trick, kept as a running max so it never
+/// moves backwards).  The victim is the minimum-H image, ties broken by
+/// oldest touch.  Expensive-to-reload images (slow partial bitstreams)
+/// survive longer than cheap ones at equal recency, but an expensive image
+/// that stops being touched is eventually aged out: every eviction raises
+/// L, so freshly touched cheap images overtake a stale dear one instead of
+/// letting it squat on a slot forever.  When all costs match the ordering
+/// reduces to exact LRU (credits tie, the touch-tick tie-break decides).
 class CostAwarePolicy final : public ReplacementPolicy {
  public:
   std::string name() const override { return "cost"; }
   void on_load(const std::string& image, std::uint64_t now,
                std::uint64_t load_cycles) override {
-    credit_[image] = now + load_cycles;
+    entries_[image] = Entry{level_ + load_cycles, now};
   }
   void on_hit(const std::string& image, std::uint64_t now,
               std::uint64_t load_cycles) override {
-    credit_[image] = now + load_cycles;
+    entries_[image] = Entry{level_ + load_cycles, now};
   }
-  void on_evict(const std::string& image) override { credit_.erase(image); }
+  void on_evict(const std::string& image) override {
+    auto it = entries_.find(image);
+    if (it != entries_.end()) {
+      level_ = std::max(level_, it->second.credit);
+      entries_.erase(it);
+    }
+  }
   std::string victim(const std::vector<std::string>& candidates) override;
 
  private:
-  std::map<std::string, std::uint64_t> credit_;
+  struct Entry {
+    std::uint64_t credit = 0;  ///< L at touch time + load_cycles
+    std::uint64_t touch = 0;   ///< touch tick, tie-break (older loses)
+  };
+  std::map<std::string, Entry> entries_;
+  std::uint64_t level_ = 0;  ///< running max of evicted credits
 };
 
 /// The reconfiguration port, as a simulated hardware block: while a load is

@@ -1,5 +1,7 @@
 #include "host/farm.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -16,7 +18,29 @@ namespace {
 /// Tenant bucket for session-less submissions.  Round-robin fairness treats
 /// all of them as one tenant; they are exempt from per-session bounds.
 constexpr Farm::SessionId kNoSession = ~std::uint64_t{0};
+/// Most recent per-shard job-latency samples kept for job_latency_samples()
+/// (a bounded ring, so a long-lived farm's footprint stays flat).
+constexpr std::size_t kLatencyRingCapacity = 65536;
 }  // namespace
+
+LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> samples) {
+  LatencyPercentiles p;
+  p.samples = samples.size();
+  if (samples.empty()) {
+    return p;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto rank = [&](double q) {
+    std::size_t r = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    r = std::min(std::max<std::size_t>(r, 1), samples.size());
+    return samples[r - 1];
+  };
+  p.p50 = rank(0.50);
+  p.p95 = rank(0.95);
+  p.p99 = rank(0.99);
+  return p;
+}
 
 /// One farm job: the program, its budget, which tenant it counts against,
 /// the algorithm images it requires resident, and exactly one completion
@@ -26,6 +50,9 @@ struct Farm::Job {
   isa::Program program;
   std::uint64_t budget = 0;
   SessionId session = kNoSession;
+  /// Shard clock (sim_cycle_hint) at enqueue; the baseline of this job's
+  /// simulated-cycle latency sample.
+  std::uint64_t enqueue_cycle = 0;
   /// Image names the session declared at create_session(required); the
   /// worker ensures them resident (swapping on an empty window) before the
   /// job issues.  Empty = no requirement.
@@ -89,10 +116,16 @@ struct Farm::Shard {
   /// Jobs refused with kOverload (producers bump it; never in snapshots —
   /// counters() reads it live).
   std::atomic<std::uint64_t> jobs_shed{0};
+  /// Worker-published mirror of the shard's simulated clock, so producers
+  /// can stamp jobs at enqueue without touching the thread-affine
+  /// simulator.  Slightly stale (updated each pump quantum), which only
+  /// makes latency samples conservative (never negative — recording clamps).
+  std::atomic<std::uint64_t> sim_cycle_hint{0};
 
   // -- Published statistics, under stats_m ---------------------------------
   std::mutex stats_m;
   sim::Counters stats;  ///< latest snapshot, under stats_m
+  std::vector<std::uint64_t> latency_snapshot;  ///< under stats_m
 
   // -- Worker-local (inline mode: submitting-thread-local) -----------------
   std::uint64_t jobs_completed = 0;
@@ -100,6 +133,8 @@ struct Farm::Shard {
   std::uint64_t resets = 0;
   std::uint64_t publishes = 0;
   std::uint64_t unpublished = 0;  ///< jobs resolved since the last snapshot
+  std::vector<std::uint64_t> latency_ring;  ///< recent job latencies (cycles)
+  std::size_t latency_next = 0;             ///< ring overwrite cursor
 
   std::thread thread;
 
@@ -213,6 +248,19 @@ struct Farm::Shard {
     return false;
   }
 
+  /// Record one completed job's simulated-cycle latency (enqueue stamp to
+  /// now) into the bounded ring behind Farm::job_latency_samples().
+  void record_latency(const Engine& engine, const Job& job) {
+    const std::uint64_t now = engine.system.simulator().cycle();
+    const std::uint64_t lat = now - std::min(job.enqueue_cycle, now);
+    if (latency_ring.size() < kLatencyRingCapacity) {
+      latency_ring.push_back(lat);
+    } else {
+      latency_ring[latency_next] = lat;
+      latency_next = (latency_next + 1) % kLatencyRingCapacity;
+    }
+  }
+
   /// Resolve a completed job: success normally, the typed retryable
   /// failure when a kUnitUnavailable error response surfaced mid-program.
   void resolve_completion(Job& job, std::vector<msg::Response>&& responses) {
@@ -280,11 +328,15 @@ void Farm::Shard::publish_stats(const Engine& engine, bool force) {
   snap.bump("farm.jobs_completed", jobs_completed);
   snap.bump("farm.jobs_failed", jobs_failed);
   snap.bump("farm.shard_resets", resets);
+  // The shard's simulated clock, so benches can report deterministic
+  // cycles/job alongside wall-clock rates (sums across shards on merge).
+  snap.bump("farm.shard_cycles", engine.system.simulator().cycle());
   ++publishes;
   snap.bump("farm.stats_publishes", publishes);
   unpublished = 0;
   std::lock_guard<std::mutex> lk(stats_m);
   stats = std::move(snap);
+  latency_snapshot = latency_ring;
 }
 
 /// Fault recovery: reset the shard's hardware so later submissions run on
@@ -347,6 +399,9 @@ void Farm::Shard::worker(const FarmConfig& config) {
   }
 
   const std::size_t window = config.transport.window;
+  const std::size_t max_members =
+      std::max<std::size_t>(1, config.coalesce_max_programs);
+  const bool coalescing = max_members > 1;
   std::deque<Job> active;  // jobs in the transport window, submission order
   std::deque<ReliableTransport::ProgramId> active_ids;  // parallel to active
   /// Jobs popped from the queue but waiting to issue: the front needs an FU
@@ -354,6 +409,10 @@ void Farm::Shard::worker(const FarmConfig& config) {
   /// a later job around a held one would reorder a session's register
   /// semantics.
   std::deque<Job> held;
+  /// Coalescing only: the cycle a held *partial* frame must flush at.
+  /// Armed when the worker first decides to keep the frame open for more
+  /// arrivals; cleared on every frame submission.
+  std::optional<std::uint64_t> flush_at;
 
   auto active_index = [&](ReliableTransport::ProgramId id) {
     for (std::size_t i = 0; i < active_ids.size(); ++i) {
@@ -366,6 +425,7 @@ void Farm::Shard::worker(const FarmConfig& config) {
 
   for (;;) {
     std::deque<Job> batch;
+    bool draining = false;
     {
       std::unique_lock<std::mutex> lk(m);
       if (active.empty() && held.empty() && queued == 0 && !stop) {
@@ -380,8 +440,10 @@ void Farm::Shard::worker(const FarmConfig& config) {
       if (stop && queued == 0 && active.empty() && held.empty()) {
         break;
       }
+      draining = stop;  // a stopping farm flushes partial frames at once
       Job j;
-      while (active.size() + held.size() + batch.size() < window &&
+      while (active.size() + held.size() + batch.size() <
+                 window * max_members &&
              pop_locked(j)) {
         batch.push_back(std::move(j));
       }
@@ -410,25 +472,101 @@ void Farm::Shard::worker(const FarmConfig& config) {
         held.push_back(std::move(j));
       }
       batch.clear();
-      while (!held.empty() && active.size() < window) {
-        if (needs_swap(*engine, held.front())) {
-          if (engine->transport.in_flight() > 0) {
+      if (!coalescing) {
+        while (!held.empty() && active.size() < window) {
+          if (needs_swap(*engine, held.front())) {
+            if (engine->transport.in_flight() > 0) {
+              break;  // swap deferred until the window drains
+            }
+            if (!ensure_required(*engine, held.front())) {
+              held.pop_front();  // unsatisfiable; job failed typed
+              continue;
+            }
+          } else if (engine->manager && !held.front().required.empty()) {
+            // All resident: record the hits so policy recency stays honest.
+            engine->manager->ensure_resident_all(held.front().required);
+          }
+          active_ids.push_back(engine->transport.submit(
+              held.front().program, held.front().budget,
+              static_cast<bool>(held.front().stream)));
+          active.push_back(std::move(held.front()));
+          held.pop_front();
+        }
+      } else {
+        // Coalescing: gather a FIFO prefix of `held` into one frame, cut at
+        // the member cap, the word cap, or the first later job needing an
+        // FU swap (swaps only happen at frame boundaries, on an empty
+        // window).  A *partial* frame — one that took everything held and
+        // could still grow — stays open up to coalesce_flush_cycles before
+        // it flushes.
+        while (!held.empty() &&
+               engine->transport.in_flight() < window) {
+          const bool front_swap = needs_swap(*engine, held.front());
+          if (front_swap && engine->transport.in_flight() > 0) {
             break;  // swap deferred until the window drains
           }
-          if (!ensure_required(*engine, held.front())) {
+          // The swap must land BEFORE co-members are gathered: their
+          // needs_swap probes have to see the post-swap resident set, or a
+          // member could ride a frame whose own front just evicted its
+          // image.  A swap boundary also flushes immediately — no hold.
+          if (front_swap && !ensure_required(*engine, held.front())) {
             held.pop_front();  // unsatisfiable; job failed typed
+            flush_at.reset();
             continue;
           }
-        } else if (engine->manager && !held.front().required.empty()) {
-          // All resident: record the hits so policy recency stays honest.
-          engine->manager->ensure_resident_all(held.front().required);
+          std::size_t count = 1;
+          std::size_t words = held.front().program.words().size();
+          while (count < held.size() && count < max_members) {
+            const Job& j = held[count];
+            const std::size_t w = j.program.words().size();
+            if (config.coalesce_max_words > 0 &&
+                words + w > config.coalesce_max_words) {
+              break;
+            }
+            if (needs_swap(*engine, j)) {
+              break;  // swap point: this job starts the next frame
+            }
+            words += w;
+            ++count;
+          }
+          const bool partial = count == held.size() && count < max_members;
+          if (!front_swap && partial && config.coalesce_flush_cycles > 0 &&
+              !draining) {
+            if (!flush_at) {
+              flush_at = engine->system.simulator().cycle() +
+                         config.coalesce_flush_cycles;
+            }
+            if (engine->system.simulator().cycle() < *flush_at) {
+              break;  // keep the frame open; the pump watches flush_at
+            }
+          }
+          if (engine->manager) {
+            // Record residency hits for every member the swap path did not
+            // already account for, exactly one ensure per issued job.
+            for (std::size_t i = front_swap ? 1 : 0; i < count; ++i) {
+              if (!held[i].required.empty()) {
+                engine->manager->ensure_resident_all(held[i].required);
+              }
+            }
+          }
+          std::vector<ReliableTransport::CoalescedItem> items;
+          items.reserve(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            items.push_back({&held[i].program, held[i].budget,
+                             static_cast<bool>(held[i].stream)});
+          }
+          const std::vector<ReliableTransport::ProgramId> ids =
+              engine->transport.submit_coalesced(items);
+          for (std::size_t i = 0; i < count; ++i) {
+            active_ids.push_back(ids[i]);
+            active.push_back(std::move(held.front()));
+            held.pop_front();
+          }
+          flush_at.reset();
         }
-        active_ids.push_back(
-            engine->transport.submit(held.front().program,
-                                     held.front().budget,
-                                     static_cast<bool>(held.front().stream)));
-        active.push_back(std::move(held.front()));
-        held.pop_front();
+        if (held.empty()) {
+          flush_at.reset();
+        }
       }
       if (active.empty() && held.empty()) {
         continue;
@@ -443,6 +581,8 @@ void Farm::Shard::worker(const FarmConfig& config) {
       Pump& pump = engine->copro.pump();
       pump.run_until(
           [&] {
+            sim_cycle_hint.store(engine->system.simulator().cycle(),
+                                 std::memory_order_relaxed);
             engine->transport.service();
             while (auto e = engine->transport.poll_stream()) {
               events.push_back(std::move(*e));
@@ -452,6 +592,16 @@ void Farm::Shard::worker(const FarmConfig& config) {
             }
             if (!events.empty() || !comps.empty()) {
               return true;
+            }
+            if (flush_at) {
+              // A partial frame is being held open: wake to grow it when
+              // more work arrives, or to flush it when the timer expires.
+              // Never exit on an empty window here — that would spin the
+              // outer loop without advancing the clock toward flush_at.
+              if (queued_hint.load(std::memory_order_relaxed) > 0) {
+                return true;
+              }
+              return engine->system.simulator().cycle() >= *flush_at;
             }
             // Pull new queued work only while nothing is held: held jobs
             // issue strictly FIFO, so with a swap-blocked job at the front
@@ -475,6 +625,7 @@ void Farm::Shard::worker(const FarmConfig& config) {
       for (ReliableTransport::Completion& c : comps) {
         const std::size_t i = active_index(c.id);
         if (i < active.size()) {
+          record_latency(*engine, active[i]);
           resolve_completion(active[i], std::move(c.responses));
           active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
           active_ids.erase(active_ids.begin() +
@@ -507,42 +658,138 @@ void Farm::Shard::worker(const FarmConfig& config) {
 /// Reentrant submits (from inside a callback) land in the queue and are
 /// drained by the outermost frame, preserving submission order.
 void Farm::Shard::drain_inline(Engine& engine) {
-  for (;;) {
-    Job job;
-    {
-      std::lock_guard<std::mutex> lk(m);
-      if (!pop_locked(job)) {
-        break;
+  const std::size_t max_members =
+      std::max<std::size_t>(1, cfg->coalesce_max_programs);
+  if (max_members == 1) {
+    for (;;) {
+      Job job;
+      {
+        std::lock_guard<std::mutex> lk(m);
+        if (!pop_locked(job)) {
+          break;
+        }
       }
+      try {
+        // Inline jobs run one at a time, so the window is always empty here
+        // and a required-set swap is safe before every submit.
+        if (!ensure_required(engine, job)) {
+          continue;  // unsatisfiable; job already failed typed
+        }
+        engine.transport.submit(job.program, job.budget,
+                                static_cast<bool>(job.stream));
+        std::optional<ReliableTransport::Completion> done;
+        engine.copro.pump().run_until(
+            [&] {
+              sim_cycle_hint.store(engine.system.simulator().cycle(),
+                                   std::memory_order_relaxed);
+              engine.transport.service();
+              while (auto e = engine.transport.poll_stream()) {
+                if (job.stream) {
+                  job.stream(e->response);
+                }
+              }
+              if (auto c = engine.transport.poll_completed()) {
+                done = std::move(*c);
+              }
+              return done.has_value();
+            },
+            Deadline::unbounded(engine.system.simulator()), "Farm::inline");
+        record_latency(engine, job);
+        resolve_completion(job, std::move(done->responses));
+      } catch (const SimError& e) {
+        std::deque<Job> culprit;
+        culprit.push_back(std::move(job));
+        recover(engine, e, &culprit);
+      }
+      publish_stats(engine, false);
+    }
+    return;
+  }
+  // Coalescing inline drain: pack up to max_members queued jobs into one
+  // frame per round.  A popped job that does not fit — word cap, or it
+  // needs an FU swap (swaps happen only on an empty window) — carries over
+  // to start the next frame instead of going back to the queue, so FIFO
+  // order within a tenant is preserved.
+  std::optional<Job> carry;
+  for (;;) {
+    std::deque<Job> frame;
+    if (carry) {
+      frame.push_back(std::move(*carry));
+      carry.reset();
+    } else {
+      Job job;
+      {
+        std::lock_guard<std::mutex> lk(m);
+        if (!pop_locked(job)) {
+          break;
+        }
+      }
+      frame.push_back(std::move(job));
     }
     try {
-      // Inline jobs run one at a time, so the window is always empty here
-      // and a required-set swap is safe before every submit.
-      if (!ensure_required(engine, job)) {
+      if (!ensure_required(engine, frame.front())) {
+        publish_stats(engine, false);
         continue;  // unsatisfiable; job already failed typed
       }
-      engine.transport.submit(job.program, job.budget,
-                              static_cast<bool>(job.stream));
-      std::optional<ReliableTransport::Completion> done;
+      std::size_t words = frame.front().program.words().size();
+      while (frame.size() < max_members) {
+        Job next;
+        {
+          std::lock_guard<std::mutex> lk(m);
+          if (!pop_locked(next)) {
+            break;
+          }
+        }
+        const std::size_t w = next.program.words().size();
+        if ((cfg->coalesce_max_words > 0 &&
+             words + w > cfg->coalesce_max_words) ||
+            needs_swap(engine, next)) {
+          carry = std::move(next);
+          break;
+        }
+        if (engine.manager && !next.required.empty()) {
+          // Resident by construction (needs_swap was false); record hits.
+          engine.manager->ensure_resident_all(next.required);
+        }
+        words += w;
+        frame.push_back(std::move(next));
+      }
+      std::vector<ReliableTransport::CoalescedItem> items;
+      items.reserve(frame.size());
+      for (Job& j : frame) {
+        items.push_back({&j.program, j.budget, static_cast<bool>(j.stream)});
+      }
+      const std::vector<ReliableTransport::ProgramId> ids =
+          engine.transport.submit_coalesced(items);
+      std::map<ReliableTransport::ProgramId, std::vector<msg::Response>> done;
       engine.copro.pump().run_until(
           [&] {
+            sim_cycle_hint.store(engine.system.simulator().cycle(),
+                                 std::memory_order_relaxed);
             engine.transport.service();
             while (auto e = engine.transport.poll_stream()) {
-              if (job.stream) {
-                job.stream(e->response);
+              for (std::size_t i = 0; i < ids.size(); ++i) {
+                if (ids[i] == e->id && frame[i].stream) {
+                  frame[i].stream(e->response);
+                }
               }
             }
-            if (auto c = engine.transport.poll_completed()) {
-              done = std::move(*c);
+            while (auto c = engine.transport.poll_completed()) {
+              done[c->id] = std::move(c->responses);
             }
-            return done.has_value();
+            return done.size() == ids.size();
           },
           Deadline::unbounded(engine.system.simulator()), "Farm::inline");
-      resolve_completion(job, std::move(done->responses));
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        record_latency(engine, frame[i]);
+        resolve_completion(frame[i], std::move(done[ids[i]]));
+      }
     } catch (const SimError& e) {
-      std::deque<Job> culprit;
-      culprit.push_back(std::move(job));
-      recover(engine, e, &culprit);
+      if (carry) {
+        frame.push_back(std::move(*carry));
+        carry.reset();
+      }
+      recover(engine, e, &frame);
     }
     publish_stats(engine, false);
   }
@@ -554,6 +801,8 @@ Farm::Farm(FarmConfig config) : config_(std::move(config)) {
   config_.system.validate();
   config_.transport.validate();
   check(config_.queue_capacity > 0, "FarmConfig::queue_capacity must be > 0");
+  check(config_.coalesce_max_programs > 0,
+        "FarmConfig::coalesce_max_programs must be > 0");
   check(config_.stats_publish_interval > 0,
         "FarmConfig::stats_publish_interval must be > 0");
   // Surface image-set mistakes here instead of as N worker-thread
@@ -783,6 +1032,10 @@ void Farm::enqueue(std::size_t shard_index, Job job) {
   Shard& shard = *shards_[shard_index];
   const bool bounded =
       job.session != kNoSession && config_.max_inflight_per_session > 0;
+  // Stamp the arrival against the worker-published clock mirror; slightly
+  // stale is fine (latency samples only get conservative).
+  job.enqueue_cycle =
+      shard.sim_cycle_hint.load(std::memory_order_relaxed);
 
   {
     std::unique_lock<std::mutex> lk(shard.m);
@@ -862,6 +1115,16 @@ sim::Counters Farm::counters() const {
       out.merge(shard->stats);
     }
     out.bump("farm.jobs_shed", shard->jobs_shed.load());
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Farm::job_latency_samples() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->stats_m);
+    out.insert(out.end(), shard->latency_snapshot.begin(),
+               shard->latency_snapshot.end());
   }
   return out;
 }

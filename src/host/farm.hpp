@@ -20,6 +20,19 @@
 
 namespace fpgafu::host {
 
+/// Nearest-rank percentiles over simulated-cycle job latencies (see
+/// Farm::job_latency_samples).
+struct LatencyPercentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::size_t samples = 0;
+};
+
+/// Compute nearest-rank p50/p95/p99 over `samples` (order irrelevant;
+/// zeros for an empty set).
+LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> samples);
+
 /// Typed failure for farm jobs: carries which shard failed and why, so a
 /// caller can distinguish "my program wedged shard 3" from "the farm was
 /// shut down under me" without string-matching.
@@ -90,6 +103,22 @@ struct FarmConfig {
   /// 1 restores publish-after-every-job.
   std::size_t stats_publish_interval = 16;
 
+  // -- Program coalescing ----------------------------------------------------
+  /// Member programs a worker packs into one submission frame
+  /// (ReliableTransport::submit_coalesced): a frame occupies one window
+  /// slot, pays one watchdog and one transmission, and its
+  /// register-disjoint members skip the per-program write-barrier round
+  /// trip.  1 (the default) disables coalescing — the worker issues one
+  /// program per frame through exactly the pre-coalescing path.
+  std::size_t coalesce_max_programs = 1;
+  /// Cap on one frame's total instruction-stream words; a frame closes
+  /// early when the next member would push it past the cap.  0 = no cap.
+  std::size_t coalesce_max_words = 256;
+  /// Simulated cycles a worker holds a *partial* frame open waiting for
+  /// more arrivals before flushing it (latency bound on batching).  0 =
+  /// flush immediately with whatever was gathered.
+  std::uint64_t coalesce_flush_cycles = 0;
+
   // -- Algorithm-on-demand ---------------------------------------------------
   /// Loadable algorithm images, registered on every shard's FuManager (each
   /// shard constructs its own units via the image factories; the factories
@@ -133,6 +162,16 @@ struct FarmConfig {
 /// are preserved — a later job's reads still execute after an earlier
 /// job's writes) and completes each as its last response lands.  Jobs of
 /// *different* sessions interleave freely inside a window.
+///
+/// **Coalescing.**  With `coalesce_max_programs > 1` a worker gathers up
+/// to that many queued jobs (possibly from different sessions — the
+/// round-robin dequeue keeps its fairness) into ONE submission frame, up
+/// to `coalesce_max_words` stream words, holding a partial frame open for
+/// at most `coalesce_flush_cycles` before flushing.  Members complete
+/// individually; FU swaps still only happen at frame boundaries on an
+/// empty window (a job whose required images are not resident cuts the
+/// frame before it).  Disabled (the default), the worker takes the
+/// pre-coalescing path bit for bit.
 ///
 /// **Admission.**  Each shard's queue is bounded
 /// (FarmConfig::queue_capacity).  A full queue blocks the producer
@@ -241,6 +280,16 @@ class Farm {
   /// farm.stats_publishes counts snapshot publications (amortised to one
   /// per stats_publish_interval jobs while a shard stays busy).
   sim::Counters counters() const;
+
+  /// Simulated-cycle latencies (enqueue to resolution) of recently
+  /// completed jobs, merged across shards — the raw samples behind
+  /// latency_percentiles().  Each shard keeps a bounded ring of the most
+  /// recent samples (so a long-lived farm's memory stays flat) and
+  /// publishes it with its counter snapshots: the view lags a busy shard
+  /// by at most stats_publish_interval jobs and is exact after shutdown().
+  /// Enqueue stamps come from a worker-published clock hint, so a sample
+  /// includes queue wait measured on the shard's own simulated clock.
+  std::vector<std::uint64_t> job_latency_samples() const;
 
   /// Stop intake, drain queued jobs, join workers.  Idempotent; called by
   /// the destructor.

@@ -97,4 +97,118 @@ ResponsePrediction predict(const isa::Instruction& inst,
   return {0, false};  // dispatched to the unit; results land in registers
 }
 
+GroupEffects group_effects(const isa::Instruction& inst,
+                           const rtm::RtmConfig& config,
+                           const rtm::FunctionalUnitTable& table) {
+  auto data_ok = [&](isa::RegNum r) { return r < config.data_regs; };
+  auto flag_ok = [&](isa::RegNum r) { return r < config.flag_regs; };
+  GroupEffects e;
+  e.exact = true;  // every early return below is a complete footprint
+
+  using isa::RtmOp;
+  if (inst.function == isa::fc::kRtm) {
+    switch (static_cast<RtmOp>(inst.variety)) {
+      case RtmOp::kNop:
+      case RtmOp::kSync:
+        return e;  // no register traffic; SYNC's echo is value-independent
+      case RtmOp::kCopy:
+        if (data_ok(inst.dst1) && data_ok(inst.src1)) {
+          e.data_writes.set(inst.dst1);
+        }
+        return e;  // invalid -> error response, write never lands
+      case RtmOp::kCopyFlags:
+        if (flag_ok(inst.dst_flag) && flag_ok(inst.src_flag)) {
+          e.flag_writes.set(inst.dst_flag);
+        }
+        return e;
+      case RtmOp::kPut:
+      case RtmOp::kPutImm:
+        if (data_ok(inst.dst1)) {
+          e.data_writes.set(inst.dst1);
+        }
+        return e;
+      case RtmOp::kPutVec:
+        if (inst.aux > 0 &&
+            static_cast<unsigned>(inst.dst1) + inst.aux <= config.data_regs) {
+          for (unsigned i = 0; i < inst.aux; ++i) {
+            e.data_writes.set(inst.dst1 + i);
+          }
+        }
+        return e;  // oversized burst is discarded whole (one error response)
+      case RtmOp::kGetVec:
+        // In-range sub-reads return register values; out-of-range ones
+        // return value-independent errors and read nothing.
+        for (unsigned i = 0; i < inst.aux; ++i) {
+          const unsigned reg = static_cast<unsigned>(inst.src1) + i;
+          if (reg < config.data_regs) {
+            e.data_reads.set(reg);
+          }
+        }
+        return e;
+      case RtmOp::kPutFlags:
+        if (flag_ok(inst.dst_flag)) {
+          e.flag_writes.set(inst.dst_flag);
+        }
+        return e;
+      case RtmOp::kGet:
+        if (data_ok(inst.src1)) {
+          e.data_reads.set(inst.src1);
+        }
+        return e;
+      case RtmOp::kGetFlags:
+        if (flag_ok(inst.src_flag)) {
+          e.flag_reads.set(inst.src_flag);
+        }
+        return e;
+    }
+    return e;  // unknown variety -> value-independent kUnknownFunction
+  }
+
+  // Functional-unit instruction: same validation chain as predict().  A
+  // group that dispatches writes dst1, the second destination when the
+  // unit produces one, and dst_flag (conservatively: every dispatched FU
+  // op retires a flag word).  Its *reads* (src1/src2/src_flag) do not
+  // matter to the barrier — FU groups are never retried.
+  if (!data_ok(inst.dst1) || !data_ok(inst.src1) || !data_ok(inst.src2) ||
+      !flag_ok(inst.dst_flag) || !flag_ok(inst.src_flag)) {
+    return e;
+  }
+  fu::FunctionalUnit* unit = table.find(inst.function);
+  if (unit == nullptr) {
+    return e;
+  }
+  const bool second = unit->writes_second(inst.variety);
+  if (second && (!data_ok(inst.aux) || inst.aux == inst.dst1)) {
+    return e;  // dual-output destination fault: predicted error, no writes
+  }
+  e.data_writes.set(inst.dst1);
+  if (second) {
+    e.data_writes.set(inst.aux);
+  }
+  e.flag_writes.set(inst.dst_flag);
+  return e;
+}
+
+FrameLayout split_frame(const std::vector<const isa::Program*>& programs,
+                        const rtm::RtmConfig& config,
+                        const rtm::FunctionalUnitTable& table) {
+  FrameLayout frame;
+  for (const isa::Program* program : programs) {
+    check(program != nullptr, "split_frame: null member program");
+    FrameMember member;
+    member.first_group = frame.groups.size();
+    std::vector<InstructionGroup> groups = split_groups(*program);
+    member.group_count = groups.size();
+    for (InstructionGroup& g : groups) {
+      const ResponsePrediction pred = predict(g.inst, config, table);
+      member.response_count += pred.count;
+      frame.predictions.push_back(pred);
+      frame.effects.push_back(group_effects(g.inst, config, table));
+      frame.groups.push_back(std::move(g));
+    }
+    frame.members.push_back(member);
+  }
+  return frame;
+}
+
 }  // namespace fpgafu::host

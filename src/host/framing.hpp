@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bitset>
 #include <cstddef>
 #include <vector>
 
@@ -41,5 +42,75 @@ struct ResponsePrediction {
 ResponsePrediction predict(const isa::Instruction& inst,
                            const rtm::RtmConfig& config,
                            const rtm::FunctionalUnitTable& table);
+
+/// Register footprint of one instruction group, host-side — what the
+/// transport's *frame-granularity* write barrier reasons about.  For a
+/// retriable (read-class) group the read sets name every register whose
+/// VALUE its responses depend on: a retried GET returns the same bytes iff
+/// nothing wrote its source register in between.  Error-predicted groups,
+/// SYNC and out-of-range sub-reads have empty read sets — their responses
+/// are functions of the instruction encoding and the configuration, not of
+/// register state, so a retry is always byte-identical.  For a write group
+/// the write sets name every register it can mutate (FU destinations are
+/// taken conservatively: dst1, aux when the unit writes a second result,
+/// and dst_flag always).  Data and flag registers are disjoint namespaces.
+struct GroupEffects {
+  /// One bit per register number (isa::RegNum is 8-bit, so 256 covers any
+  /// RtmConfig).
+  using RegSet = std::bitset<256>;
+  RegSet data_reads;
+  RegSet data_writes;
+  RegSet flag_reads;
+  RegSet flag_writes;
+  /// False = footprint unknown (a group the host never analysed); the
+  /// barrier must treat it as conflicting with everything.
+  bool exact = false;
+
+  /// Would issuing this group as a *write* while `reader` is outstanding
+  /// let a retry of `reader` observe a newer value?  Conservative (true)
+  /// whenever either footprint is not exact.
+  bool writes_conflict_with_reads_of(const GroupEffects& reader) const {
+    if (!exact || !reader.exact) {
+      return true;
+    }
+    return (data_writes & reader.data_reads).any() ||
+           (flag_writes & reader.flag_reads).any();
+  }
+};
+
+/// Compute the register footprint of one instruction (see GroupEffects).
+/// Mirrors the same validation order as predict(): a group predicted to
+/// error never lands its writes and its error responses are
+/// value-independent, so it gets empty sets.
+GroupEffects group_effects(const isa::Instruction& inst,
+                           const rtm::RtmConfig& config,
+                           const rtm::FunctionalUnitTable& table);
+
+/// One member program's sub-range inside a coalesced frame.
+struct FrameMember {
+  std::size_t first_group = 0;  ///< index into FrameLayout::groups
+  std::size_t group_count = 0;
+  std::size_t response_count = 0;  ///< predicted responses, summed
+};
+
+/// Frame-level framing: several member programs concatenated into one
+/// submission frame.  `groups` is the concatenation of each member's
+/// split_groups() output (one contiguous wire transmission); predictions
+/// and register effects are per group, and `members` records each
+/// program's sub-range so the transport can demultiplex responses back
+/// into per-program completions.
+struct FrameLayout {
+  std::vector<InstructionGroup> groups;
+  std::vector<ResponsePrediction> predictions;
+  std::vector<GroupEffects> effects;
+  std::vector<FrameMember> members;
+};
+
+/// Split and predict a whole frame of member programs.  Throws SimError
+/// when any member ends inside a PUT/PUTV payload.  An empty member is
+/// legal: it contributes zero groups and completes immediately.
+FrameLayout split_frame(const std::vector<const isa::Program*>& programs,
+                        const rtm::RtmConfig& config,
+                        const rtm::FunctionalUnitTable& table);
 
 }  // namespace fpgafu::host

@@ -65,6 +65,12 @@ void ReliableTransport::sync_generation() {
   }
 }
 
+void ReliableTransport::push_frame(Flight&& f) {
+  window_.push_back(std::move(f));
+  unissued_ = true;
+  emit_pending_ = true;  // a pure-write frame may already be complete
+}
+
 ReliableTransport::ProgramId ReliableTransport::submit(
     const isa::Program& program, std::optional<std::uint64_t> budget_cycles,
     bool stream) {
@@ -85,12 +91,64 @@ ReliableTransport::ProgramId ReliableTransport::submit(
     f.slots[i].program_seq = static_cast<std::uint16_t>(i);
     f.slots[i].done = f.slots[i].pred.count == 0;
   }
+  Member m;
+  m.id = f.id;
+  m.first_slot = 0;
+  m.slot_count = f.slots.size();
+  m.stream = stream;
+  f.members.push_back(std::move(m));
   f.budget = budget_cycles.value_or(config_.max_cycles);
-  f.stream = stream;
-  window_.push_back(std::move(f));
-  unissued_ = true;
-  emit_pending_ = true;  // a pure-write program may already be complete
+  push_frame(std::move(f));
   return window_.back().id;
+}
+
+std::vector<ReliableTransport::ProgramId> ReliableTransport::submit_coalesced(
+    const std::vector<CoalescedItem>& items) {
+  check(!items.empty(), "ReliableTransport::submit_coalesced: empty frame");
+  check(!window_full(),
+        "ReliableTransport::submit_coalesced: window is full (" +
+            std::to_string(config_.window) + " frames in flight)");
+  if (window_.empty() && outstanding_.empty()) {
+    sync_generation();
+  }
+  const rtm::Rtm& rtm = copro_->system().rtm();
+  std::vector<const isa::Program*> programs;
+  programs.reserve(items.size());
+  for (const CoalescedItem& item : items) {
+    check(item.program != nullptr,
+          "ReliableTransport::submit_coalesced: null member program");
+    programs.push_back(item.program);
+  }
+  FrameLayout layout = split_frame(programs, rtm.config(), rtm.table());
+
+  Flight f;
+  f.coalesced = true;
+  f.groups = std::move(layout.groups);
+  f.slots.resize(f.groups.size());
+  std::vector<ProgramId> ids;
+  ids.reserve(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    Member m;
+    m.id = next_program_id_++;
+    m.first_slot = layout.members[k].first_group;
+    m.slot_count = layout.members[k].group_count;
+    m.stream = items[k].stream;
+    for (std::size_t i = 0; i < m.slot_count; ++i) {
+      GroupSlot& s = f.slots[m.first_slot + i];
+      s.pred = layout.predictions[m.first_slot + i];
+      s.effects = layout.effects[m.first_slot + i];
+      s.program_seq = static_cast<std::uint16_t>(i);  // member-relative
+      s.done = s.pred.count == 0;
+    }
+    // One frame, one watchdog: the frame deadline is the laxest member's.
+    f.budget = std::max(f.budget,
+                        items[k].budget_cycles.value_or(config_.max_cycles));
+    ids.push_back(m.id);
+    f.members.push_back(std::move(m));
+  }
+  f.id = f.members.front().id;
+  push_frame(std::move(f));
+  return ids;
 }
 
 void ReliableTransport::transmit(Flight& f, std::size_t slot_index,
@@ -214,25 +272,69 @@ void ReliableTransport::handle_response(const msg::Response& r) {
 void ReliableTransport::emit_ready() {
   for (auto it = window_.begin(); it != window_.end();) {
     Flight& f = *it;
+    // The member owning the emit cursor (members are contiguous in slot
+    // order, so this advances monotonically with the cursor).
+    std::size_t owner = 0;
+    while (owner < f.members.size() &&
+           f.emit_cursor >=
+               f.members[owner].first_slot + f.members[owner].slot_count) {
+      ++owner;
+    }
     while (f.emit_cursor < f.slots.size() && f.slots[f.emit_cursor].done) {
+      while (f.emit_cursor >=
+             f.members[owner].first_slot + f.members[owner].slot_count) {
+        ++owner;  // skip empty members sitting at this boundary
+      }
       GroupSlot& s = f.slots[f.emit_cursor];
+      Member& m = f.members[owner];
       for (msg::Response r : s.got) {
         r.seq = s.program_seq;  // renumber wire order back to program order
-        if (f.stream) {
-          stream_events_.push_back({f.id, r});
+        if (m.stream) {
+          stream_events_.push_back({m.id, r});
         }
-        f.out.push_back(r);
+        m.out.push_back(r);
       }
       s.got.clear();
       ++f.emit_cursor;
     }
-    if (f.next_group == f.groups.size() && f.emit_cursor == f.slots.size()) {
-      completed_.push_back({f.id, std::move(f.out)});
+    // Members complete individually, in member order: one is done when all
+    // its groups reached the wire and all its slots emitted.  (Write slots
+    // are born done, so the issue condition is the binding one for
+    // pure-write members.)
+    bool all_emitted = true;
+    for (Member& m : f.members) {
+      const std::size_t end = m.first_slot + m.slot_count;
+      if (!m.emitted && f.emit_cursor >= end && f.next_group >= end) {
+        m.emitted = true;
+        completed_.push_back({m.id, std::move(m.out)});
+      }
+      all_emitted = all_emitted && m.emitted;
+    }
+    if (all_emitted) {
       it = window_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+bool ReliableTransport::write_conflicts(const GroupEffects& writer) const {
+  for (const Outstanding& o : outstanding_) {
+    const Flight* f = nullptr;
+    for (const Flight& w : window_) {
+      if (w.id == o.program) {
+        f = &w;
+        break;
+      }
+    }
+    // An outstanding entry always belongs to a live flight; be conservative
+    // if that invariant were ever violated.
+    if (f == nullptr ||
+        writer.writes_conflict_with_reads_of(f->slots[o.slot].effects)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void ReliableTransport::issue_pending() {
@@ -242,11 +344,18 @@ void ReliableTransport::issue_pending() {
   // program can never overtake an earlier one on the wire.  Groups that
   // mutate state additionally wait behind the write barrier (nothing
   // outstanding anywhere) so no retry can ever observe a newer value.
+  // Inside a *coalesced* frame the barrier is per register: a member's
+  // write may overtake outstanding reads whose footprints it cannot touch
+  // (host::GroupEffects), so register-disjoint members pipeline instead of
+  // paying one round trip each.  Plain flights keep the conservative rule
+  // bit-for-bit (and their slots' default effects make any coalesced write
+  // crossing them stall, keeping mixed windows safe).
   bool stalled = false;
   for (Flight& f : window_) {
     while (f.next_group < f.groups.size()) {
       const GroupSlot& s = f.slots[f.next_group];
-      if (s.pred.count == 0 && !s.pred.retriable && !outstanding_.empty()) {
+      if (s.pred.count == 0 && !s.pred.retriable && !outstanding_.empty() &&
+          (!f.coalesced || write_conflicts(s.effects))) {
         break;  // write barrier
       }
       if (!f.deadline) {
@@ -277,7 +386,12 @@ void ReliableTransport::check_watchdogs() {
     f.deadline->observe();
     if (f.deadline->expired()) {
       copro_->reset();
-      throw SimError("ReliableTransport: program " + std::to_string(f.id) +
+      const std::string what =
+          f.members.size() > 1
+              ? "frame " + std::to_string(f.id) + " (" +
+                    std::to_string(f.members.size()) + " members)"
+              : "program " + std::to_string(f.id);
+      throw SimError("ReliableTransport: " + what +
                      " watchdog expired after " + std::to_string(f.budget) +
                      " cycles");
     }

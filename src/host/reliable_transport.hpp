@@ -29,9 +29,11 @@ struct TransportConfig {
   /// Overall watchdog for one call() (2x the default call budget: the
   /// transport is expected to out-wait retries a plain call would not).
   std::uint64_t max_cycles = 2 * kDefaultCallBudgetCycles;
-  /// Programs the pipelined interface keeps in flight at once.  1 is
-  /// call-and-wait; larger windows overlap one program's tail with the next
-  /// program's issue (the RTM pipelines instructions and answers in order,
+  /// Submission frames the pipelined interface keeps in flight at once.  A
+  /// frame is one program (submit) or several coalesced member programs
+  /// (submit_coalesced) — either way it occupies one window slot.  1 is
+  /// call-and-wait; larger windows overlap one frame's tail with the next
+  /// frame's issue (the RTM pipelines instructions and answers in order,
   /// so the wire protocol needs no changes).  submit() refuses to exceed
   /// the window; host::Farm sizes its worker loop from it.
   std::size_t window = 1;
@@ -98,6 +100,12 @@ std::uint64_t backoff_timeout(const TransportConfig& config,
 ///    and the caller is expected to abort_in_flight() and re-submit or
 ///    fail upwards (host::Farm fails the window as shard casualties).
 ///
+/// On top of the window, submit_coalesced() packs several small programs
+/// into ONE frame — one window slot, one contiguous transmission, one
+/// watchdog — demultiplexed into per-member completions, with the write
+/// barrier relaxed to per-register conflict tracking inside the frame
+/// (docs/PROTOCOL.md, "Coalesced frames").
+///
 /// The transport mirrors the decoder's sequence counter, so it must be the
 /// only submitter on its system (construct it before any traffic and route
 /// everything through it).  A system reset re-synchronises both counters.
@@ -146,6 +154,40 @@ class ReliableTransport {
                    std::optional<std::uint64_t> budget_cycles = std::nullopt,
                    bool stream = false);
 
+  /// One member program of a coalesced frame (see submit_coalesced).
+  struct CoalescedItem {
+    const isa::Program* program = nullptr;
+    /// Per-member watchdog wish; the frame's single watchdog arms at the
+    /// maximum over its members (one frame, one deadline).
+    std::optional<std::uint64_t> budget_cycles;
+    bool stream = false;
+  };
+
+  /// Enqueue several small programs as ONE submission frame occupying one
+  /// window slot: their instruction groups are concatenated into a single
+  /// sequence-numbered transmission with one watchdog and one prediction
+  /// table carrying per-member sub-ranges (host::split_frame), and the
+  /// return path demultiplexes responses back into one Completion (and
+  /// stream events) per member, in member order.  Returns one ProgramId
+  /// per member.
+  ///
+  /// Retry/poison semantics are frame-granular: individual read groups
+  /// still retry under backoff exactly as in a plain flight, members
+  /// complete individually as their sub-range finishes, but a give-up or
+  /// the frame watchdog poisons the whole window — every member of every
+  /// in-flight frame fails together (same contract as the windowed path,
+  /// at frame scope).
+  ///
+  /// Inside a coalesced frame the cross-program write barrier is re-derived
+  /// per register (host::GroupEffects): a member's write group may overtake
+  /// another member's outstanding read iff their footprints are disjoint,
+  /// so register-disjoint tiny programs issue back-to-back instead of
+  /// serialising on one round trip each.  Groups of *plain* flights keep
+  /// the conservative whole-window barrier, which keeps the uncoalesced
+  /// path bit-identical to the pre-coalescing transport.
+  std::vector<ProgramId> submit_coalesced(
+      const std::vector<CoalescedItem>& items);
+
   /// One service quantum of the retry state machine: issue groups (window
   /// order, write barrier permitting), consume arrived responses, run gap/
   /// timeout retries, surface completions.  Never advances the clock —
@@ -154,7 +196,8 @@ class ReliableTransport {
   /// cleared with abort_in_flight().
   void service();
 
-  /// Programs submitted and not yet surfaced through poll_completed().
+  /// Submission frames in the window (a coalesced frame counts once,
+  /// however many member programs it carries).
   std::size_t in_flight() const { return window_.size(); }
   bool window_full() const { return window_.size() >= config_.window; }
 
@@ -179,25 +222,45 @@ class ReliableTransport {
 
  private:
   /// Per-group progress.  program_seq is the sequence number the reference
-  /// model assigns — the group index in program order (mod 2^16).
+  /// model assigns — the group index in *member* program order (mod 2^16);
+  /// for a plain one-program flight that is just the group index.
   struct GroupSlot {
     ResponsePrediction pred;
     std::uint16_t program_seq = 0;
     std::vector<msg::Response> got;
     bool done = false;
+    /// Register footprint, exact only for coalesced frames (plain flights
+    /// never consult it; the default conservatively conflicts with
+    /// everything, which is what a coalesced write crossing a plain
+    /// flight's outstanding reads must assume).
+    GroupEffects effects;
   };
 
-  /// One pipelined program in the window.
-  struct Flight {
+  /// One member program of a frame: its contiguous slot sub-range and its
+  /// demultiplexed output.  A plain submit() makes a one-member frame.
+  struct Member {
     ProgramId id = 0;
+    std::size_t first_slot = 0;
+    std::size_t slot_count = 0;
+    std::vector<msg::Response> out;  ///< renumbered responses, program order
+    bool stream = false;
+    bool emitted = false;  ///< completion surfaced to poll_completed()
+  };
+
+  /// One submission frame in the window: the concatenated groups of its
+  /// members, one watchdog, one slot in the window.
+  struct Flight {
+    ProgramId id = 0;  ///< frame id (the first member's ProgramId)
     std::vector<InstructionGroup> groups;
     std::vector<GroupSlot> slots;
+    std::vector<Member> members;
     std::size_t next_group = 0;    ///< next group to put on the wire
-    std::size_t emit_cursor = 0;   ///< slots already emitted in program order
-    std::vector<msg::Response> out;  ///< renumbered responses, program order
+    std::size_t emit_cursor = 0;   ///< slots already emitted in frame order
     std::uint64_t budget = 0;
     std::optional<Deadline> deadline;  ///< armed at first transmission
-    bool stream = false;
+    /// True for submit_coalesced frames: the write barrier relaxes to
+    /// per-register conflict tracking for this frame's write groups.
+    bool coalesced = false;
   };
 
   /// Response-producing groups in flight, oldest first (wire order).
@@ -212,6 +275,12 @@ class ReliableTransport {
   Flight* flight(ProgramId id);
   /// Re-sync the mirrored sequence counter after a system reset.
   void sync_generation();
+  /// Common tail of submit()/submit_coalesced().
+  void push_frame(Flight&& f);
+  /// Would issuing `writer` now let a retry of any outstanding read observe
+  /// a newer register value?  (The relaxed, per-register barrier used for
+  /// coalesced frames.)
+  bool write_conflicts(const GroupEffects& writer) const;
   /// Send a group's words and (when it responds) enqueue it for tracking.
   void transmit(Flight& f, std::size_t slot_index, unsigned attempts);
   /// (Re-)arm the front outstanding entry's retry deadline, capped by the

@@ -244,6 +244,57 @@ TEST(Algod, LruEvictsLeastRecentCostAwareKeepsExpensive) {
   EXPECT_TRUE(cost.resident("dear"));
 }
 
+TEST(Algod, CostAwareAgesOutStaleExpensiveImages) {
+  // GreedyDual aging regression: the eviction level L rises to the evicted
+  // credit, so an expensive image that stops being touched is overtaken by
+  // a stream of fresh cheap ones instead of squatting on its slot forever.
+  // Under the pre-aging policy (credit = touch_tick + cost, ticks +1 per
+  // touch) `dear` would outrank the cheap pair for ~500 touches.
+  top::System sys(bare_system());
+  Coprocessor copro(sys);
+  FuManagerConfig mcfg;
+  mcfg.slots = 2;
+  mcfg.policy = std::make_shared<CostAwarePolicy>();
+  FuManager mgr(copro, mcfg);
+  mgr.register_image(image_of("dear", isa::fc::kFloat, 500));
+  mgr.register_image(image_of("a", isa::fc::kArith, 100));
+  mgr.register_image(image_of("b", isa::fc::kLogic, 100));
+
+  mgr.ensure_resident("dear");  // credit 500; never touched again
+  mgr.ensure_resident("a");     // credit 100
+  // Each alternation evicts the other cheap image and lifts L by its
+  // credit: b@200, a@300, b@400, a@500 — sixth load ties dear at 500 and
+  // the touch-tick tie-break evicts the stale one.
+  for (const char* name : {"b", "a", "b", "a", "b"}) {
+    mgr.ensure_resident(name);
+  }
+  EXPECT_FALSE(mgr.resident("dear")) << "stale expensive image must age out";
+  EXPECT_TRUE(mgr.resident("a"));
+  EXPECT_TRUE(mgr.resident("b"));
+}
+
+TEST(Algod, CostAwareDegeneratesToLruAtEqualCosts) {
+  // With uniform costs, credits tie and the touch-tick tie-break must
+  // reproduce LRU's exact victim order.
+  top::System sys(bare_system());
+  Coprocessor copro(sys);
+  FuManagerConfig mcfg;
+  mcfg.slots = 2;
+  mcfg.policy = std::make_shared<CostAwarePolicy>();
+  FuManager mgr(copro, mcfg);
+  mgr.register_image(image_of("x", isa::fc::kArith, 100));
+  mgr.register_image(image_of("y", isa::fc::kLogic, 100));
+  mgr.register_image(image_of("z", isa::fc::kShift, 100));
+
+  mgr.ensure_resident("x");
+  mgr.ensure_resident("y");
+  mgr.ensure_resident("x");  // x is now the most recent
+  mgr.ensure_resident("z");  // must evict y, the least recently touched
+  EXPECT_TRUE(mgr.resident("x"));
+  EXPECT_FALSE(mgr.resident("y"));
+  EXPECT_TRUE(mgr.resident("z"));
+}
+
 TEST(Algod, CoScheduledImagesAreNotVictimsOfEachOther) {
   top::System sys(bare_system());
   Coprocessor copro(sys);
@@ -355,6 +406,44 @@ TEST(AlgodFarm, InlineManagedFarmMatchesReference) {
   const sim::Counters totals = farm.counters();
   EXPECT_GE(totals.get("algod.loads"), 2u);
   EXPECT_GE(totals.get("algod.hits"), 1u);
+}
+
+TEST(AlgodFarm, CoalescedFramesSwapImagesOnlyAtFrameBoundaries) {
+  // Mixed-demand sessions under coalescing: jobs that share a resident set
+  // may ride one frame, a job needing a swap must cut the frame and still
+  // complete correctly after the boundary swap.  Every response stays
+  // bit-identical to the reference.
+  FarmConfig fc;
+  fc.shards = 1;
+  fc.system = bare_system();
+  fc.transport.window = 4;
+  fc.coalesce_max_programs = 8;
+  fc.coalesce_flush_cycles = 64;
+  fc.fu_images = catalogue();
+  fc.fu_slots = 2;  // arith+logic resident means trig forces an eviction
+  Farm farm(fc);
+  const Farm::SessionId hot = farm.create_session({"arith", "logic"});
+  const Farm::SessionId cold = farm.create_session({"trig"});
+
+  std::vector<isa::Program> programs;
+  std::vector<std::future<std::vector<msg::Response>>> futures;
+  for (std::uint64_t seed = 70; seed < 82; ++seed) {
+    // Every 4th job demands the cold image, forcing swap-at-boundary cuts
+    // in the middle of what would otherwise be one big frame.
+    const bool is_cold = seed % 4 == 1;
+    programs.push_back(program_for(
+        is_cold ? std::vector<std::string>{"trig"}
+                : std::vector<std::string>{"arith", "logic"},
+        seed));
+    futures.push_back(farm.submit(is_cold ? cold : hot, programs.back()));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].get(), reference_run(programs[i])) << "job " << i;
+  }
+  farm.shutdown();
+  const sim::Counters totals = farm.counters();
+  EXPECT_EQ(totals.get("farm.jobs_failed"), 0u);
+  EXPECT_GT(totals.get("algod.evictions"), 0u) << "swaps must have happened";
 }
 
 // -- Multi-tenant soak --------------------------------------------------------
@@ -489,6 +578,21 @@ TEST(AlgodSoak, MultiTenantSkewedShiftingMixStaysReferenceCorrect) {
   EXPECT_GT(totals.get("algod.misses"), 0u);
   EXPECT_GT(totals.get("algod.evictions"), 0u);
   EXPECT_GT(totals.get("algod.load_cycles"), 0u);
+
+  // Job latency (simulated cycles, enqueue -> completion) must have a
+  // bounded tail: with round-robin fairness and frame-boundary-only swaps
+  // no tenant's job may wait pathologically longer than the median.  The
+  // 50x bound is deliberately loose — FIFO drain of this load predicts
+  // p99/p50 of roughly 2 — so it only catches real starvation.
+  const LatencyPercentiles lat =
+      latency_percentiles(farm.job_latency_samples());
+  EXPECT_GE(lat.samples, pending.size())
+      << "every soak job must contribute a latency sample";
+  EXPECT_GT(lat.p50, 0u);
+  EXPECT_LE(lat.p50, lat.p95);
+  EXPECT_LE(lat.p95, lat.p99);
+  EXPECT_LE(lat.p99, lat.p50 * 50) << "latency tail unbounded: p99 "
+                                   << lat.p99 << " vs p50 " << lat.p50;
 }
 
 }  // namespace
